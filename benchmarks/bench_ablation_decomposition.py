@@ -1,0 +1,124 @@
+"""Ablation — decomposition design choices (ours, beyond the paper).
+
+Sweeps the decomposition budget ``k_max`` and compares the two
+obliqueness heuristics (cheap ``extent`` vs LP-based ``trial``), on both
+uniform and clustered data.  Records overlap and construction time so
+the quality/cost trade-off of Section 3's knobs is visible.
+"""
+
+from bench_common import publish, scaled
+
+from repro.core.candidates import SelectorKind
+from repro.core.decomposition import DecompositionConfig
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.core.quality import average_overlap
+from repro.data import clustered_points, uniform_points
+from repro.eval.harness import Timer
+from repro.eval.reporting import ResultTable
+from repro.geometry.mbr import MBR
+
+K_MAX_SWEEP = (1, 4, 16)
+HEURISTICS = ("extent", "trial")
+
+
+def _overlap_and_time(points, k_max, heuristic, strategy="grid"):
+    config = BuildConfig(
+        selector=SelectorKind.CORRECT,
+        decompose=k_max > 1,
+        decomposition=DecompositionConfig(
+            k_max=k_max, heuristic=heuristic, strategy=strategy
+        ),
+    )
+    with Timer() as timer:
+        index = NNCellIndex.build(points, config)
+    rects = [r for __, r in index.all_cell_rectangles()]
+    box = MBR.unit_cube(points.shape[1])
+    return average_overlap(rects, box), timer.seconds, len(rects)
+
+
+def bench_ablation_decomposition(benchmark):
+    def run():
+        table = ResultTable(
+            "Ablation: decomposition budget and obliqueness heuristic",
+            ["dataset", "heuristic", "k_max", "overlap", "build_seconds",
+             "n_rectangles"],
+        )
+        n = scaled(40)
+        datasets = {
+            "uniform-3d": uniform_points(n, 3, seed=101),
+            "clustered-3d": clustered_points(n, 3, seed=102),
+        }
+        for name, points in datasets.items():
+            for heuristic in HEURISTICS:
+                for k_max in K_MAX_SWEEP:
+                    overlap, seconds, n_rects = _overlap_and_time(
+                        points, k_max, heuristic
+                    )
+                    table.add_row(
+                        dataset=name,
+                        heuristic=heuristic,
+                        k_max=k_max,
+                        overlap=overlap,
+                        build_seconds=seconds,
+                        n_rectangles=n_rects,
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "ablation_decomposition")
+    # Larger budgets monotonically reduce overlap per dataset/heuristic.
+    for dataset in ("uniform-3d", "clustered-3d"):
+        for heuristic in HEURISTICS:
+            series = [
+                r["overlap"]
+                for r in table.rows
+                if r["dataset"] == dataset and r["heuristic"] == heuristic
+            ]
+            assert series[0] >= series[-1] - 1e-9, (
+                f"k_max sweep failed to reduce overlap for {dataset}/"
+                f"{heuristic}"
+            )
+
+
+def bench_ablation_greedy_vs_grid(benchmark):
+    """Grid (the paper's Definition 5) vs greedy recursive splitting at
+    the same piece budget."""
+
+    def run():
+        table = ResultTable(
+            "Ablation: grid (paper) vs greedy (ours) decomposition",
+            ["dataset", "strategy", "k_max", "overlap", "build_seconds",
+             "n_rectangles"],
+        )
+        n = scaled(40)
+        datasets = {
+            "uniform-3d": uniform_points(n, 3, seed=101),
+            "clustered-3d": clustered_points(n, 3, seed=102),
+        }
+        for name, points in datasets.items():
+            for strategy in ("grid", "greedy"):
+                for k_max in (4, 8):
+                    overlap, seconds, n_rects = _overlap_and_time(
+                        points, k_max, "extent", strategy=strategy
+                    )
+                    table.add_row(
+                        dataset=name,
+                        strategy=strategy,
+                        k_max=k_max,
+                        overlap=overlap,
+                        build_seconds=seconds,
+                        n_rectangles=n_rects,
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "ablation_greedy_vs_grid")
+    for dataset in ("uniform-3d", "clustered-3d"):
+        for k_max in (4, 8):
+            rows = {
+                r["strategy"]: r for r in table.rows
+                if r["dataset"] == dataset and r["k_max"] == k_max
+            }
+            assert rows["greedy"]["overlap"] <= (
+                rows["grid"]["overlap"] * 1.05 + 1e-9
+            ), f"greedy should not lose to grid on {dataset} k={k_max}"

@@ -1,0 +1,109 @@
+"""Ablation — bulk-loading packings and the index lineage (ours).
+
+Two comparisons:
+
+* **STR vs Hilbert packing** of the same data: leaf-region tightness and
+  NN-query page counts;
+* **index lineage**: Guttman R-tree vs R*-tree vs X-tree on the same
+  insertion workload — the historical progression whose end point the
+  paper's approach replaces.
+"""
+
+import numpy as np
+
+from bench_common import publish, scaled
+
+from repro.data import clustered_points, query_points, uniform_points
+from repro.eval.reporting import ResultTable
+from repro.index.bulk import bulk_load
+from repro.index.guttman import GuttmanRTree
+from repro.index.hilbert import hilbert_bulk_load
+from repro.index.nnsearch import rkv_nearest
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+
+def bench_ablation_packing(benchmark):
+    def run():
+        table = ResultTable(
+            "Ablation: STR vs Hilbert bulk loading",
+            ["dataset", "packing", "leaf_margin", "mean_query_pages"],
+        )
+        n = scaled(600)
+        dim = 4
+        queries = query_points(scaled(20), dim, seed=221)
+        datasets = {
+            "uniform": uniform_points(n, dim, seed=222),
+            "clustered": clustered_points(n, dim, seed=223),
+        }
+        loaders = {"str": bulk_load, "hilbert": hilbert_bulk_load}
+        for name, points in datasets.items():
+            for packing, loader in loaders.items():
+                tree = loader(
+                    RStarTree(dim, leaf_entry_bytes=8 * dim + 8),
+                    points, points, np.arange(n),
+                )
+                leaf_margin = sum(
+                    node.mbr().margin()
+                    for __, node in tree.iter_nodes()
+                    if node.is_leaf
+                )
+                pages = float(np.mean(
+                    [rkv_nearest(tree, q).pages for q in queries]
+                ))
+                table.add_row(
+                    dataset=name,
+                    packing=packing,
+                    leaf_margin=leaf_margin,
+                    mean_query_pages=pages,
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "ablation_packing")
+    for row in table.rows:
+        assert row["mean_query_pages"] > 0
+
+
+def bench_index_lineage(benchmark):
+    def run():
+        table = ResultTable(
+            "Index lineage: Guttman -> R* -> X-tree (insertion build)",
+            ["index", "mean_query_pages", "mean_cpu_ms", "n_nodes"],
+        )
+        n = scaled(500)
+        dim = 8
+        points = uniform_points(n, dim, seed=224)
+        queries = query_points(scaled(15), dim, seed=225)
+        for name, cls in (
+            ("guttman", GuttmanRTree),
+            ("rstar", RStarTree),
+            ("xtree", XTree),
+        ):
+            tree = cls(dim, leaf_entry_bytes=8 * dim + 8)
+            for i, p in enumerate(points):
+                tree.insert_point(p, i)
+            import time
+
+            pages = []
+            cpu = []
+            for q in queries:
+                start = time.perf_counter()
+                result = rkv_nearest(tree, q)
+                cpu.append(time.perf_counter() - start)
+                pages.append(result.pages)
+            table.add_row(
+                index=name,
+                mean_query_pages=float(np.mean(pages)),
+                mean_cpu_ms=1e3 * float(np.mean(cpu)),
+                n_nodes=sum(1 for __ in tree.iter_nodes()),
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "index_lineage")
+    rows = {r["index"]: r for r in table.rows}
+    # The R*-tree's heuristics should not lose badly to Guttman's.
+    assert rows["rstar"]["mean_query_pages"] <= (
+        rows["guttman"]["mean_query_pages"] * 1.5
+    )

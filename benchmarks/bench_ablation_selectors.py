@@ -1,0 +1,88 @@
+"""Ablation — selector tuning and LP backends (ours, beyond the paper).
+
+Two sweeps:
+
+* the Sphere selector's radius factor (the paper's heuristic constant,
+  OCR-damaged in the source; we expose it as a parameter and sweep it),
+  showing the overlap / construction-cost trade-off around the paper's
+  ``2.0``;
+* the LP backend (from-scratch simplex vs scipy HiGHS) on the same cell
+  workload, validating the auto-dispatch choice.
+"""
+
+from bench_common import publish, scaled
+
+from repro.core.candidates import SelectorKind, SelectorParams
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.core.quality import average_overlap
+from repro.data import uniform_points
+from repro.eval.harness import Timer
+from repro.eval.reporting import ResultTable
+from repro.geometry.mbr import MBR
+
+RADIUS_FACTORS = (0.5, 1.0, 2.0, 4.0)
+
+
+def bench_ablation_sphere_radius(benchmark):
+    def run():
+        table = ResultTable(
+            "Ablation: Sphere selector radius factor (paper value: 2.0)",
+            ["radius_factor", "overlap", "build_seconds",
+             "mean_constraints"],
+        )
+        points = uniform_points(scaled(150), 3, seed=103)
+        box = MBR.unit_cube(3)
+        for factor in RADIUS_FACTORS:
+            config = BuildConfig(
+                selector=SelectorKind.SPHERE,
+                selector_params=SelectorParams(sphere_radius_factor=factor),
+                # Small pages so the sphere query distinguishes data
+                # pages even at the scaled-down database size.
+                page_size=512,
+            )
+            with Timer() as timer:
+                index = NNCellIndex.build(points, config)
+            rects = [r for __, r in index.all_cell_rectangles()]
+            mean_constraints = sum(
+                index.constraint_system(i).n_constraints
+                for i in index.active_ids
+            ) / len(index)
+            table.add_row(
+                radius_factor=factor,
+                overlap=average_overlap(rects, box),
+                build_seconds=timer.seconds,
+                mean_constraints=mean_constraints,
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "ablation_sphere_radius")
+    overlaps = table.column("overlap")
+    constraints = table.column("mean_constraints")
+    # Bigger radius -> more constraints -> tighter approximations.
+    assert constraints == sorted(constraints)
+    assert overlaps[-1] <= overlaps[0] + 1e-9
+
+
+def bench_ablation_lp_backend(benchmark):
+    def run():
+        table = ResultTable(
+            "Ablation: LP backend on the cell-approximation workload",
+            ["backend", "build_seconds"],
+        )
+        points = uniform_points(scaled(50), 4, seed=104)
+        for backend in ("auto", "simplex", "scipy"):
+            config = BuildConfig(
+                selector=SelectorKind.NN_DIRECTION, lp_backend=backend
+            )
+            with Timer() as timer:
+                NNCellIndex.build(points, config)
+            table.add_row(backend=backend, build_seconds=timer.seconds)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "ablation_lp_backend")
+    rows = {r["backend"]: r["build_seconds"] for r in table.rows}
+    # Auto must be competitive with the best single backend (2x slack for
+    # timer noise on small workloads).
+    assert rows["auto"] <= 2.0 * min(rows["simplex"], rows["scipy"])

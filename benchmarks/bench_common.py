@@ -1,0 +1,32 @@
+"""Shared helpers for the figure benchmarks.
+
+``scaled(n)`` multiplies workload sizes by the ``REPRO_BENCH_SCALE``
+environment variable (default 1.0), so the same bench files serve both
+the quick default run and paper-scale overnight runs:
+
+    REPRO_BENCH_SCALE=10 pytest benchmarks/bench_figure07_09.py --benchmark-only -s
+"""
+
+import os
+from pathlib import Path
+
+from repro.eval.reporting import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 8) -> int:
+    """Scale a workload size by REPRO_BENCH_SCALE."""
+    return max(minimum, int(n * _SCALE))
+
+
+def publish(table: ResultTable, name: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv() + "\n")

@@ -1,0 +1,22 @@
+"""Figure 2 — NN-cell MBR approximations per 2-d distribution.
+
+Regenerates the paper's qualitative gallery as overlap numbers: the
+regular grid is the best case (approximations == cells, zero overlap),
+iid uniform is intermediate, the sparse distribution the worst case.
+"""
+
+from bench_common import publish, scaled
+
+from repro.eval.experiments import figure2_cell_gallery
+
+
+def bench_figure02_cell_gallery(benchmark):
+    table = benchmark.pedantic(
+        lambda: figure2_cell_gallery(n_points=scaled(16)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "figure02")
+    rows = {r["distribution"]: r for r in table.rows}
+    assert rows["grid"]["overlap"] <= 1e-6, "grid must be overlap-free"
+    assert rows["sparse"]["overlap"] > rows["grid"]["overlap"]

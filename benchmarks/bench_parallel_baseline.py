@@ -1,0 +1,93 @@
+"""Contextual baseline — parallel NN search ([Ber+ 97]).
+
+The paper's introduction positions precomputation against its authors'
+earlier parallel approach.  This bench compares, per query:
+
+* serial R*-tree pages (RKV),
+* parallel I/O rounds with round-robin vs proximity declustering over
+  1..8 simulated disks,
+* the NN-cell approach's point-query pages.
+
+Checked shapes: parallel rounds shrink as disks are added, and proximity
+declustering is at least as good as round-robin on average.
+"""
+
+import numpy as np
+
+from bench_common import publish, scaled
+
+from repro.data import uniform_points, query_points
+from repro.eval.reporting import ResultTable
+from repro.index.bulk import bulk_load
+from repro.index.nnsearch import rkv_nearest
+from repro.index.parallel import (
+    parallel_nearest,
+    proximity_declustering,
+    round_robin_declustering,
+)
+from repro.index.rstar import RStarTree
+
+DISKS = (1, 2, 4, 8)
+
+
+def bench_parallel_baseline(benchmark):
+    def run():
+        dim = 6
+        n = scaled(800)
+        points = uniform_points(n, dim, seed=161)
+        queries = query_points(scaled(20), dim, seed=162)
+        tree = bulk_load(
+            RStarTree(dim, leaf_entry_bytes=8 * dim + 8),
+            points, points, np.arange(n),
+        )
+        table = ResultTable(
+            "Parallel NN baseline ([Ber+ 97]) vs serial RKV",
+            ["n_disks", "strategy", "mean_rounds", "mean_pages",
+             "speedup_over_serial"],
+        )
+        serial_pages = float(np.mean(
+            [rkv_nearest(tree, q).pages for q in queries]
+        ))
+        table.add_row(
+            n_disks=1, strategy="serial-rkv", mean_rounds=serial_pages,
+            mean_pages=serial_pages, speedup_over_serial=1.0,
+        )
+        for n_disks in DISKS:
+            for name, strategy in (
+                ("round-robin", round_robin_declustering),
+                ("proximity", proximity_declustering),
+            ):
+                assignment = strategy(tree, n_disks)
+                rounds, pages = [], []
+                for q in queries:
+                    result = parallel_nearest(tree, q, assignment, n_disks)
+                    rounds.append(result.rounds)
+                    pages.append(result.pages)
+                mean_rounds = float(np.mean(rounds))
+                table.add_row(
+                    n_disks=n_disks,
+                    strategy=name,
+                    mean_rounds=mean_rounds,
+                    mean_pages=float(np.mean(pages)),
+                    speedup_over_serial=serial_pages / max(mean_rounds, 1e-9),
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(table, "parallel_baseline")
+
+    def rounds_of(strategy):
+        return [
+            r["mean_rounds"] for r in table.rows
+            if r["strategy"] == strategy
+        ]
+
+    for strategy in ("round-robin", "proximity"):
+        series = rounds_of(strategy)
+        assert series == sorted(series, reverse=True), (
+            f"{strategy}: rounds must shrink as disks are added"
+        )
+    # Proximity declustering beats (or ties) round-robin on average.
+    assert np.mean(rounds_of("proximity")) <= np.mean(
+        rounds_of("round-robin")
+    ) + 1e-9

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Makes the shared helpers importable and ensures a results directory
+exists: every figure bench both prints its table and writes it to
+``benchmarks/results/`` so a benchmark run leaves the paper's series on
+disk.
+"""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+sys.path.insert(0, str(BENCH_DIR))
+
+(BENCH_DIR / "results").mkdir(exist_ok=True)

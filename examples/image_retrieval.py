@@ -1,0 +1,83 @@
+"""Content-based image retrieval over Fourier feature vectors.
+
+Run:  python examples/image_retrieval.py
+
+The paper's motivating application: similarity search in multimedia
+databases, where images (or shapes) are transformed into high-dimensional
+feature vectors and "similar" means "nearby in feature space".  This
+example builds a catalogue of synthetic images described by 8-d Fourier
+features (the paper's real dataset was exactly such Fourier points),
+indexes the solution space, and compares retrieval against classic X-tree
+NN search — reporting page accesses and CPU time like the paper's
+Figures 11-12.
+"""
+
+import numpy as np
+
+from repro import (
+    BuildConfig,
+    NNCellIndex,
+    SelectorKind,
+    XTree,
+    fourier_points,
+    rkv_nearest,
+)
+from repro.index import bulk_load
+
+N_IMAGES = 800
+FEATURE_DIM = 8
+
+
+def image_name(i: int) -> str:
+    themes = ["sunset", "harbor", "forest", "portrait", "skyline", "meadow"]
+    return f"{themes[i % len(themes)]}_{i:04d}.png"
+
+
+def main() -> None:
+    # Feature extraction: each "image" is summarised by the magnitudes of
+    # its first Fourier coefficients (see repro.data.fourier).
+    features = fourier_points(N_IMAGES, dim=FEATURE_DIM, seed=11)
+    print(f"catalogue: {N_IMAGES} images, {FEATURE_DIM}-d Fourier features")
+
+    # Solution-space index (the paper's approach).  NN-Direction is the
+    # selector the paper developed *for real data*: the sphere/point
+    # heuristics degenerate on clustered distributions (Section 2).
+    index = NNCellIndex.build(
+        features, BuildConfig(selector=SelectorKind.NN_DIRECTION)
+    )
+    # ... and the classic X-tree baseline over the same features.
+    xtree = XTree(FEATURE_DIM)
+    bulk_load(xtree, features, features, np.arange(N_IMAGES))
+
+    # Query: a new photograph, i.e. a perturbed catalogue feature vector.
+    rng = np.random.default_rng(3)
+    cell_pages = tree_pages = 0
+    print("\nsample retrievals:")
+    for __ in range(5):
+        probe_id = int(rng.integers(N_IMAGES))
+        query = np.clip(
+            features[probe_id] + rng.normal(scale=0.03, size=FEATURE_DIM),
+            0.0, 1.0,
+        )
+        match_id, distance, info = index.nearest(query)
+        cell_pages += info.pages
+        baseline = rkv_nearest(xtree, query)
+        tree_pages += baseline.pages
+        agree = "==" if baseline.nearest_id == match_id else "!="
+        print(
+            f"  query near {image_name(probe_id):18s} -> "
+            f"{image_name(match_id):18s} (dist {distance:.4f}, "
+            f"{info.n_candidates:3d} candidates)  [x-tree {agree}]"
+        )
+        assert baseline.nearest_id == match_id
+
+    print(f"\npage accesses over 5 queries: "
+          f"NN-cell={cell_pages}, X-tree={tree_pages}")
+    print("(every retrieval above is exact and verified; at this scaled-"
+          "down catalogue the X-tree baseline stays competitive — the "
+          "paper's page-count wins need its 100k-point catalogues, see "
+          "EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

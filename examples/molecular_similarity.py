@@ -1,0 +1,57 @@
+"""Molecular shape screening with k-nearest-neighbor retrieval.
+
+Run:  python examples/molecular_similarity.py
+
+The paper cites molecular docking (Shoichet et al. 1992) as a driving
+similarity-search application: molecules are described by low-dimensional
+shape descriptors and screening asks for the k most similar library
+compounds.  This example exercises the *order-k* extension — the paper's
+stated future work — which generalises the NN-cell precomputation to
+order-k Voronoi cells, so a k-NN query is again a single point query plus
+candidate verification.
+"""
+
+import numpy as np
+
+from repro import clustered_points
+from repro.core.order_k import OrderKIndex
+
+LIBRARY_SIZE = 40
+DESCRIPTOR_DIM = 3
+K = 3
+
+
+def compound_name(i: int) -> str:
+    scaffolds = ["benz", "indol", "pyrid", "quinol", "furan"]
+    return f"{scaffolds[i % len(scaffolds)]}-{i:03d}"
+
+
+def main() -> None:
+    # Shape descriptors cluster by scaffold family — clustered data.
+    library = clustered_points(
+        LIBRARY_SIZE, DESCRIPTOR_DIM, n_clusters=5, cluster_std=0.08, seed=5
+    )
+    print(f"screening library: {LIBRARY_SIZE} compounds, "
+          f"{DESCRIPTOR_DIM}-d shape descriptors")
+
+    index = OrderKIndex(library, k=K)
+    stats = index.stats()
+    print(f"order-{K} solution space: {int(stats['n_cells'])} non-empty "
+          f"cells (tree height {int(stats['tree_height'])})\n")
+
+    rng = np.random.default_rng(17)
+    for trial in range(4):
+        query = rng.uniform(0.1, 0.9, size=DESCRIPTOR_DIM)
+        ids, dists = index.k_nearest(query)
+        print(f"query descriptor {np.round(query, 3)}")
+        for rank, (cid, dist) in enumerate(zip(ids, dists), start=1):
+            print(f"  #{rank}: {compound_name(cid):12s} distance {dist:.4f}")
+
+        # Verify against brute force.
+        brute = np.argsort(np.linalg.norm(library - query, axis=1))[:K]
+        assert set(int(b) for b in brute) == set(ids), "k-NN mismatch!"
+    print("all retrievals verified against brute force: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""repro — Voronoi NN-cell nearest-neighbor search.
+
+A production-quality Python reproduction of
+
+    S. Berchtold, B. Ertl, D. A. Keim, H.-P. Kriegel, T. Seidl:
+    "Fast Nearest Neighbor Search in High-Dimensional Space",
+    Proc. 14th Int. Conf. on Data Engineering (ICDE), 1998.
+
+The paper's idea: *precompute the solution space* of nearest-neighbor
+search.  Every database point's NN-cell (its order-1 Voronoi cell) is
+approximated by a minimum bounding rectangle via linear programming,
+optionally decomposed along its most oblique dimensions, and stored in an
+X-tree — turning every NN query into a cheap point query.
+
+Quickstart::
+
+    import numpy as np
+    from repro import NNCellIndex, BuildConfig, SelectorKind, uniform_points
+
+    points = uniform_points(n=2000, dim=8, seed=7)
+    index = NNCellIndex.build(points, BuildConfig(selector=SelectorKind.SPHERE))
+    neighbor_id, distance, info = index.nearest(np.full(8, 0.5))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured reproduction record.
+"""
+
+from .core import (
+    BuildConfig,
+    CandidateSelector,
+    DecompositionConfig,
+    NNCellIndex,
+    OrderKIndex,
+    QueryInfo,
+    SelectorKind,
+    SelectorParams,
+    WeightedNNCellIndex,
+    approximate_cell,
+    average_overlap,
+    cell_system,
+    decompose_cell,
+    expected_candidates,
+    load_index,
+    measured_overlap,
+    quality_to_performance,
+    save_index,
+    sphere_radius,
+)
+from .data import (
+    clustered_points,
+    fourier_points,
+    grid_points,
+    make_dataset,
+    query_points,
+    sparse_points,
+    uniform_points,
+)
+from .geometry import MBR, HalfspaceSystem
+from .index import (
+    LinearScan,
+    NNResult,
+    RStarTree,
+    XTree,
+    bulk_load,
+    hs_k_nearest,
+    hs_nearest,
+    rkv_nearest,
+)
+from .storage import AccessStats, PageManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStats",
+    "BuildConfig",
+    "CandidateSelector",
+    "DecompositionConfig",
+    "HalfspaceSystem",
+    "LinearScan",
+    "MBR",
+    "NNCellIndex",
+    "NNResult",
+    "OrderKIndex",
+    "PageManager",
+    "QueryInfo",
+    "RStarTree",
+    "SelectorKind",
+    "SelectorParams",
+    "WeightedNNCellIndex",
+    "XTree",
+    "approximate_cell",
+    "average_overlap",
+    "bulk_load",
+    "cell_system",
+    "clustered_points",
+    "decompose_cell",
+    "expected_candidates",
+    "fourier_points",
+    "grid_points",
+    "hs_k_nearest",
+    "hs_nearest",
+    "load_index",
+    "make_dataset",
+    "measured_overlap",
+    "save_index",
+    "quality_to_performance",
+    "query_points",
+    "rkv_nearest",
+    "sparse_points",
+    "sphere_radius",
+    "uniform_points",
+]

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main workflows for shell use:
+
+* ``build``  — precompute a solution-space index over a dataset (a
+  generated workload or a ``.npy``/``.csv`` point file) and save it;
+* ``query``  — load a saved index and answer (k-)NN queries;
+* ``info``   — print a saved index's statistics;
+* ``experiment`` — run one of the paper's figure experiments and print
+  (optionally save) its table.
+
+Examples::
+
+    python -m repro build --dataset uniform --n 500 --dim 6 --out idx.npz
+    python -m repro query idx.npz --point 0.5,0.5,0.5,0.5,0.5,0.5 -k 3
+    python -m repro info idx.npz
+    python -m repro experiment figure4 --param dims=2,4 --param n_points=50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+import numpy as np
+
+from .core.candidates import SelectorKind, SelectorParams
+from .core.decomposition import DecompositionConfig
+from .core.nncell_index import BuildConfig, NNCellIndex
+from .core.persistence import load_index, save_index
+from .data.registry import dataset_names, make_dataset
+from .eval import experiments as experiments_module
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "figure2": experiments_module.figure2_cell_gallery,
+    "figure4": experiments_module.figure4_selector_tradeoff,
+    "figure5": experiments_module.figure5_quality_performance,
+    "figure7-9": experiments_module.figure7_to_9_dimension_sweep,
+    "figure10": experiments_module.figure10_size_sweep,
+    "figure11-12": experiments_module.figure11_12_fourier,
+    "figure13": experiments_module.figure13_decomposition,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point: parse ``argv`` and run the selected command."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Voronoi NN-cell nearest-neighbor search (ICDE 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="precompute and save an index")
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset", choices=dataset_names(),
+        help="generate a synthetic workload",
+    )
+    source.add_argument(
+        "--points", type=Path,
+        help=".npy or .csv file with one point per row (unit-cube data)",
+    )
+    build.add_argument("--n", type=int, default=500,
+                       help="points to generate (with --dataset)")
+    build.add_argument("--dim", type=int, default=8,
+                       help="dimensionality (with --dataset)")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--selector",
+        choices=[k.value for k in SelectorKind],
+        default=SelectorKind.SPHERE.value,
+    )
+    build.add_argument("--sphere-radius-factor", type=float, default=2.0)
+    build.add_argument("--decompose", action="store_true",
+                       help="decompose cells (Section 3)")
+    build.add_argument("--k-max", type=int, default=100,
+                       help="decomposition budget")
+    build.add_argument("--out", type=Path, required=True,
+                       help="output .npz archive")
+    build.set_defaults(handler=_cmd_build)
+
+    query = sub.add_parser("query", help="query a saved index")
+    query.add_argument("index", type=Path)
+    query.add_argument(
+        "--point", required=True,
+        help="comma-separated query coordinates",
+    )
+    query.add_argument("-k", type=int, default=1,
+                       help="number of neighbors")
+    query.set_defaults(handler=_cmd_query)
+
+    info = sub.add_parser("info", help="statistics of a saved index")
+    info.add_argument("index", type=Path)
+    info.set_defaults(handler=_cmd_info)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a paper experiment and print its table"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="experiment keyword (int, float, or comma list of ints)",
+    )
+    experiment.add_argument("--csv", type=Path,
+                            help="also write the table as CSV")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.dataset:
+        points = make_dataset(
+            args.dataset, **_dataset_params(args)
+        )
+    else:
+        points = _load_points(args.points)
+    config = BuildConfig(
+        selector=SelectorKind(args.selector),
+        selector_params=SelectorParams(
+            sphere_radius_factor=args.sphere_radius_factor
+        ),
+        decompose=args.decompose,
+        decomposition=DecompositionConfig(k_max=args.k_max),
+    )
+    index = NNCellIndex.build(points, config)
+    save_index(index, args.out)
+    stats = index.stats()
+    print(
+        f"built index over {int(stats['n_points'])} points "
+        f"({int(stats['n_rectangles'])} rectangles, expected candidates "
+        f"{stats['expected_candidates']:.2f}) -> {args.out}"
+    )
+    return 0
+
+
+def _dataset_params(args: argparse.Namespace) -> dict:
+    if args.dataset == "grid":
+        per_axis = max(2, int(round(args.n ** (1.0 / args.dim))))
+        return {"per_axis": per_axis, "dim": args.dim}
+    return {"n": args.n, "dim": args.dim, "seed": args.seed}
+
+
+def _load_points(path: Path) -> np.ndarray:
+    if not path.exists():
+        raise OSError(f"point file {path} does not exist")
+    if path.suffix == ".npy":
+        return np.load(path)
+    return np.loadtxt(path, delimiter=",", ndmin=2)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    point = _parse_point(args.point, index.dim)
+    if args.k == 1:
+        pid, dist, info = index.nearest(point)
+        ids: "List[int]" = [pid]
+        dists = [dist]
+    else:
+        ids, dists, info = index.k_nearest(point, args.k)
+    for rank, (pid, dist) in enumerate(zip(ids, dists), start=1):
+        coords = ", ".join(f"{c:.4f}" for c in index.points[pid])
+        print(f"#{rank}  point {pid}  distance {dist:.6f}  [{coords}]")
+    print(
+        f"candidates: {info.n_candidates}, pages: {info.pages}, "
+        f"fallback: {info.fallback}"
+    )
+    return 0
+
+
+def _parse_point(text: str, dim: int) -> np.ndarray:
+    try:
+        values = [float(v) for v in text.split(",")]
+    except ValueError:
+        raise ValueError(f"could not parse point {text!r}") from None
+    if len(values) != dim:
+        raise ValueError(
+            f"query has {len(values)} coordinates; the index is {dim}-d"
+        )
+    return np.asarray(values)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    print(f"index: {args.index}")
+    print(f"  selector:       {index.config.selector.value}")
+    print(f"  decomposed:     {index.config.decompose}")
+    print(f"  dimensionality: {index.dim}")
+    for key, value in sorted(index.stats().items()):
+        print(f"  {key}: {value:.4g}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    params = {}
+    for item in args.param:
+        if "=" not in item:
+            raise ValueError(f"--param expects KEY=VALUE, got {item!r}")
+        key, __, raw = item.partition("=")
+        params[key] = _parse_param(raw)
+    table = _EXPERIMENTS[args.name](**params)
+    print(table.render())
+    if args.csv:
+        args.csv.write_text(table.to_csv() + "\n")
+        print(f"(csv written to {args.csv})")
+    return 0
+
+
+def _parse_param(raw: str):
+    if "," in raw:
+        return tuple(int(v) for v in raw.split(",") if v)
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Core: the paper's NN-cell (Voronoi solution space) approach."""
+
+from .approximation import CellApproximation, approximate_cell, lp_call_count
+from .candidates import (
+    CandidateSelector,
+    SelectorKind,
+    SelectorParams,
+    sphere_radius,
+)
+from .constraints import cell_system, cell_system_for_point
+from .decomposition import (
+    DecompositionConfig,
+    decompose_cell,
+    decompose_cell_greedy,
+    obliqueness_scores,
+    partition_counts,
+)
+from .nncell_index import BuildConfig, NNCellIndex, QueryInfo
+from .order_k import OrderKCell, OrderKIndex, enumerate_order_k_cells
+from .persistence import load_index, save_index
+from .weighted import WeightedNNCellIndex, weighted_distances
+from .quality import (
+    average_overlap,
+    expected_candidates,
+    measured_overlap,
+    quality_to_performance,
+)
+
+__all__ = [
+    "BuildConfig",
+    "CandidateSelector",
+    "CellApproximation",
+    "DecompositionConfig",
+    "NNCellIndex",
+    "OrderKCell",
+    "OrderKIndex",
+    "QueryInfo",
+    "WeightedNNCellIndex",
+    "enumerate_order_k_cells",
+    "load_index",
+    "save_index",
+    "weighted_distances",
+    "SelectorKind",
+    "SelectorParams",
+    "approximate_cell",
+    "average_overlap",
+    "cell_system",
+    "cell_system_for_point",
+    "decompose_cell",
+    "decompose_cell_greedy",
+    "expected_candidates",
+    "lp_call_count",
+    "measured_overlap",
+    "obliqueness_scores",
+    "partition_counts",
+    "quality_to_performance",
+    "sphere_radius",
+]

@@ -1,0 +1,67 @@
+"""NN-cell constraint systems (Definition 2 of the paper).
+
+The NN-cell of a database point ``P`` is
+
+    ``NNC(P) = { x in DS | for all Q != P: d(x, P) <= d(x, Q) }``
+
+For the Euclidean metric each condition is one linear bisector constraint
+(see :mod:`repro.geometry.halfspace`); this module assembles the bounded
+constraint system of a cell from a chosen set of *candidate* opponents —
+all of them for the paper's **Correct** algorithm, a heuristic subset for
+the optimised ones (Lemma 1 guarantees that subsets only enlarge the
+resulting approximation, never losing the true cell).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.halfspace import HalfspaceSystem
+from ..geometry.mbr import MBR
+
+__all__ = ["cell_system", "DEFAULT_DATA_SPACE"]
+
+DEFAULT_DATA_SPACE = None  # sentinel: unit cube of the point dimension
+
+
+def cell_system(
+    points: np.ndarray,
+    center_id: int,
+    candidate_ids: Sequence[int],
+    box: "MBR | None" = None,
+) -> HalfspaceSystem:
+    """Constraint system of the NN-cell of ``points[center_id]``.
+
+    ``candidate_ids`` are the opponents whose bisectors are included; the
+    center itself is filtered out defensively.  ``box`` defaults to the
+    unit cube, the paper's data space.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be an (n, d) array")
+    if not 0 <= center_id < pts.shape[0]:
+        raise IndexError(f"center_id {center_id} out of range")
+    ids = np.asarray(candidate_ids, dtype=np.int64)
+    ids = ids[ids != center_id]
+    if box is None:
+        box = MBR.unit_cube(pts.shape[1])
+    return HalfspaceSystem.nn_cell(pts[center_id], pts[ids], box, point_ids=ids)
+
+
+def cell_system_for_point(
+    center: np.ndarray,
+    opponents: np.ndarray,
+    opponent_ids: Sequence[int],
+    box: "MBR | None" = None,
+) -> HalfspaceSystem:
+    """Like :func:`cell_system` for a center not (yet) in the database —
+    the dynamic-insertion path."""
+    center = np.asarray(center, dtype=np.float64)
+    if box is None:
+        box = MBR.unit_cube(center.shape[0])
+    return HalfspaceSystem.nn_cell(
+        center, np.asarray(opponents, dtype=np.float64), box,
+        point_ids=np.asarray(opponent_ids, dtype=np.int64),
+    )

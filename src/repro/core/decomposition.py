@@ -1,0 +1,267 @@
+"""MBR decomposition of NN-cells (Section 3, Definition 5).
+
+A single MBR around an oblique high-dimensional cell wastes volume — for
+sparse data the approximations approach the whole data space and a point
+query touches almost every page.  The paper therefore decomposes each cell
+along its ``d'`` *most oblique* dimensions into a small grid of sub-boxes
+(``k = prod(n_i) <= k_max``, the paper's practical bound being ~100) and
+stores the MBR approximation of ``cell ∩ sub-box`` for every non-empty
+piece.  Lemma 2: the pieces tile the cell, so point queries still cannot
+miss the true nearest neighbor.
+
+Two obliqueness heuristics are provided (the paper leaves the choice open,
+mentioning "the maximum of all shortest diagonals" as one possibility):
+
+* ``"extent"`` — score a dimension by the cell MBR's side length: cheap,
+  and effective because oblique cells are exactly the ones whose MBR is
+  stretched;
+* ``"trial"`` — trial-split each dimension at the midpoint, re-approximate
+  both halves, and score by the achieved volume reduction: costs
+  ``4 d^2`` extra LPs per cell but measures obliqueness directly.
+
+Partition counts follow the paper's table (reconstructed in DESIGN.md):
+with a budget ``k_max = 100``, constant per-dimension counts give
+``d' = 2 -> n <= 10``, ``d' = 3 -> n <= 4``, ``d' = 4 -> n = 3`` and
+``d' = 5..7 -> n = 2``; counts are non-increasing with obliqueness rank
+(``n_1 >= ... >= n_d'``, Definition 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..geometry.halfspace import HalfspaceSystem
+from ..geometry.mbr import MBR
+from .approximation import approximate_cell
+
+__all__ = [
+    "DecompositionConfig",
+    "obliqueness_scores",
+    "partition_counts",
+    "decompose_cell",
+    "decompose_cell_greedy",
+]
+
+MAX_DECOMPOSED_DIMS = 7  # the paper's d' <= 7
+
+
+@dataclass(frozen=True)
+class DecompositionConfig:
+    """Controls the cell decomposition.
+
+    ``k_max`` bounds the number of sub-boxes per cell; ``max_dims`` bounds
+    how many dimensions are decomposed (``d'``); ``heuristic`` picks the
+    obliqueness scoring; ``min_extent`` skips dimensions whose cell MBR is
+    thinner than this (splitting them cannot reduce volume).
+
+    ``strategy`` selects the partitioning scheme: ``"grid"`` is the
+    paper's Definition 5 (a regular grid over the most oblique
+    dimensions); ``"greedy"`` is our extension — a recursive binary
+    space partition that always applies the single midpoint split with
+    the largest volume reduction, spending the same ``k_max`` budget
+    adaptively (see :func:`decompose_cell_greedy`).
+    """
+
+    k_max: int = 100
+    max_dims: int = MAX_DECOMPOSED_DIMS
+    heuristic: str = "extent"  # "extent" | "trial"
+    strategy: str = "grid"  # "grid" | "greedy"
+    min_extent: float = 1e-9
+    lp_backend: "str | None" = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.k_max < 1:
+            raise ValueError("k_max must be >= 1")
+        if self.max_dims < 1:
+            raise ValueError("max_dims must be >= 1")
+        if self.heuristic not in ("extent", "trial"):
+            raise ValueError("heuristic must be 'extent' or 'trial'")
+        if self.strategy not in ("grid", "greedy"):
+            raise ValueError("strategy must be 'grid' or 'greedy'")
+
+
+def obliqueness_scores(
+    system: HalfspaceSystem,
+    mbr: MBR,
+    config: DecompositionConfig,
+) -> np.ndarray:
+    """Per-dimension obliqueness of the cell (higher = more oblique)."""
+    if config.heuristic == "extent":
+        return mbr.extents.copy()
+    return _trial_split_scores(system, mbr, config)
+
+
+def _trial_split_scores(
+    system: HalfspaceSystem, mbr: MBR, config: DecompositionConfig
+) -> np.ndarray:
+    """Volume reduction achieved by a midpoint split along each dimension."""
+    scores = np.zeros(mbr.dim)
+    base_volume = mbr.volume()
+    if base_volume <= 0.0:
+        return scores
+    for axis in range(mbr.dim):
+        if mbr.extents[axis] <= config.min_extent:
+            continue
+        midpoint = mbr.center[axis]
+        lower_box, upper_box = mbr.split_at(axis, midpoint)
+        reduced = 0.0
+        for sub_box in (lower_box, upper_box):
+            sub_mbr = approximate_cell(
+                system.reduced_to_box(sub_box), backend=config.lp_backend
+            )
+            if sub_mbr is not None:
+                reduced += sub_mbr.volume()
+        scores[axis] = max(0.0, 1.0 - reduced / base_volume)
+    return scores
+
+
+def partition_counts(
+    scores: np.ndarray, config: DecompositionConfig
+) -> np.ndarray:
+    """Per-dimension partition counts ``n_i`` with ``prod(n_i) <= k_max``.
+
+    Dimensions are ranked by obliqueness; the number of decomposed
+    dimensions ``d'`` is chosen to maximise the scored split budget
+    ``sum(score_i * log n_base)`` over the admissible constant-count
+    configurations, then leftover budget is spent greedily on the most
+    oblique dimensions while keeping counts non-increasing in rank.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    dim = scores.shape[0]
+    counts = np.ones(dim, dtype=np.int64)
+    if config.k_max < 2:
+        return counts
+    usable = np.flatnonzero(scores > 0.0)
+    if usable.size == 0:
+        return counts
+    rank = usable[np.argsort(scores[usable])[::-1]]
+    max_dims = min(config.max_dims, MAX_DECOMPOSED_DIMS, rank.size)
+
+    best_gain = 0.0
+    best_d = 0
+    best_base = 1
+    for d_prime in range(1, max_dims + 1):
+        n_base = int(config.k_max ** (1.0 / d_prime))
+        if n_base < 2:
+            break
+        gain = float(np.sum(scores[rank[:d_prime]]) * np.log(n_base))
+        if gain > best_gain + 1e-12:
+            best_gain = gain
+            best_d = d_prime
+            best_base = n_base
+    if best_d == 0:
+        return counts
+
+    chosen = rank[:best_d]
+    counts[chosen] = best_base
+    # Spend remaining budget greedily, preserving n_1 >= n_2 >= ...
+    product = best_base ** best_d
+    for pos, axis in enumerate(chosen):
+        limit = counts[chosen[pos - 1]] if pos > 0 else config.k_max
+        while counts[axis] < limit:
+            if product // counts[axis] * (counts[axis] + 1) > config.k_max:
+                break
+            product = product // counts[axis] * (counts[axis] + 1)
+            counts[axis] += 1
+    return counts
+
+
+def decompose_cell(
+    system: HalfspaceSystem,
+    mbr: MBR,
+    config: DecompositionConfig,
+) -> "List[MBR]":
+    """Decomposed MBR approximations of one cell.
+
+    Dispatches on ``config.strategy``: the paper's grid partitioning
+    (Definition 5) or the greedy recursive splitting extension.  Returns
+    the approximations of all non-empty pieces; with ``k_max = 1`` (or a
+    cell too thin to split) this degenerates to ``[mbr]``.
+    """
+    if config.strategy == "greedy":
+        return decompose_cell_greedy(system, mbr, config)
+    scores = obliqueness_scores(system, mbr, config)
+    scores[mbr.extents <= config.min_extent] = 0.0
+    counts = partition_counts(scores, config)
+    if int(np.prod(counts)) == 1:
+        return [mbr]
+
+    pieces: "List[MBR]" = []
+    grid_system = system.reduced_to_box(mbr)
+    ranges = [range(int(c)) for c in counts]
+    for multi_index in itertools.product(*ranges):
+        sub_box = mbr.grid_cell(counts, np.asarray(multi_index))
+        sub_mbr = approximate_cell(
+            grid_system.reduced_to_box(sub_box), backend=config.lp_backend
+        )
+        if sub_mbr is not None:
+            pieces.append(sub_mbr)
+    if not pieces:  # numerically everything vanished: keep the plain MBR
+        return [mbr]
+    return pieces
+
+
+def decompose_cell_greedy(
+    system: HalfspaceSystem,
+    mbr: MBR,
+    config: DecompositionConfig,
+) -> "List[MBR]":
+    """Greedy recursive decomposition (our extension to Definition 5).
+
+    Instead of committing to one grid up front, the cell is split one
+    binary cut at a time: among all current pieces and all dimensions,
+    apply the midpoint split with the largest total-volume reduction,
+    until the ``k_max`` piece budget is exhausted or no split reduces
+    volume by more than ``_GREEDY_MIN_GAIN`` of the piece.  Spends the
+    same index-entry budget where the cell is most oblique, which beats
+    the uniform grid on irregular cells (see the decomposition ablation
+    bench).  Pieces still tile the cell — the no-false-dismissal argument
+    of Lemma 2 applies unchanged.
+    """
+    base = approximate_cell(
+        system.reduced_to_box(mbr), backend=config.lp_backend
+    )
+    if base is None:
+        return [mbr]
+
+    # Each piece: (mbr_of_cell_piece, clip_box) — clip boxes tile `mbr`,
+    # piece MBRs are the approximations of cell ∩ clip box.
+    pieces: "List[tuple[MBR, MBR]]" = [(base, mbr)]
+    while len(pieces) < config.k_max:
+        best_gain = 0.0
+        best: "tuple[int, List[tuple[MBR, MBR]]] | None" = None
+        for index, (piece_mbr, clip_box) in enumerate(pieces):
+            piece_volume = piece_mbr.volume()
+            if piece_volume <= 0.0:
+                continue
+            for axis in range(mbr.dim):
+                if piece_mbr.extents[axis] <= config.min_extent:
+                    continue
+                midpoint = piece_mbr.center[axis]
+                lower_clip, upper_clip = clip_box.split_at(axis, midpoint)
+                replacement: "List[tuple[MBR, MBR]]" = []
+                child_volume = 0.0
+                for child_clip in (lower_clip, upper_clip):
+                    child = approximate_cell(
+                        system.reduced_to_box(child_clip),
+                        backend=config.lp_backend,
+                    )
+                    if child is not None:
+                        replacement.append((child, child_clip))
+                        child_volume += child.volume()
+                gain = piece_volume - child_volume
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (index, replacement)
+        if best is None or best_gain <= _GREEDY_MIN_GAIN * base.volume():
+            break
+        index, replacement = best
+        pieces[index:index + 1] = replacement
+    return [piece_mbr for piece_mbr, __ in pieces]
+
+
+_GREEDY_MIN_GAIN = 1e-6

@@ -1,0 +1,529 @@
+"""The NN-cell index: precomputed solution space for NN search.
+
+This is the paper's contribution.  Build time precomputes, for every
+database point, the MBR approximation of its NN-cell (optionally
+decomposed) and stores all rectangles in a multidimensional index (the
+X-tree by default).  A nearest-neighbor query then degenerates to a *point
+query*: fetch the candidate rectangles containing the query point and pick
+the closest owner — by Lemmas 1 and 2 the true nearest neighbor is always
+among the candidates.
+
+The index is dynamic (Section 2, "the dynamic case"):
+
+* :meth:`insert` — existing cells can only *shrink*.  Affected cells are
+  found by a pruned traversal of the solution-space index (a conservative
+  superset of the cells the paper finds with its sphere query), their
+  systems gain the new point's bisector, and they are re-approximated.
+* :meth:`delete` — cells whose constraint system referenced the removed
+  point can only *grow*; they are recomputed from fresh candidate sets
+  (the approach Roos' dynamic Voronoi algorithms make exact; recomputing
+  the affected approximations preserves the superset guarantee).
+
+Queries that fall outside the data space — where NN-cells are undefined —
+fall back to branch-and-bound search on the data index and are flagged in
+the returned :class:`QueryInfo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.distance import distances_to_points
+from ..geometry.halfspace import HalfspaceSystem, bisector, box_inside_halfspace
+from ..geometry.mbr import MBR
+from ..index.bulk import bulk_load
+from ..index.nnsearch import hs_k_nearest, rkv_nearest
+from ..index.rstar import RStarTree
+from ..index.xtree import XTree
+from ..storage.page import DEFAULT_PAGE_SIZE, PageManager
+from .approximation import approximate_cell
+from .candidates import CandidateSelector, SelectorKind, SelectorParams
+from .constraints import cell_system
+from .decomposition import DecompositionConfig, decompose_cell
+
+__all__ = ["BuildConfig", "NNCellIndex", "QueryInfo"]
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Construction parameters of an :class:`NNCellIndex`.
+
+    The defaults mirror the paper's recommended configuration: Sphere
+    candidate selection (the best quality-to-performance ratio for
+    moderate dimensionality) with X-tree indexing of the approximations
+    and no decomposition; turn ``decompose`` on for sparse or clustered
+    data (Section 3 / Figure 13).
+    """
+
+    selector: SelectorKind = SelectorKind.SPHERE
+    selector_params: SelectorParams = field(default_factory=SelectorParams)
+    decompose: bool = False
+    decomposition: DecompositionConfig = field(
+        default_factory=DecompositionConfig
+    )
+    lp_backend: "str | None" = None
+    index_kind: str = "xtree"  # "xtree" | "rstar"
+    page_size: int = DEFAULT_PAGE_SIZE
+    cache_pages: int = 0
+    bulk: bool = True
+    query_atol: float = 1e-9
+    data_space: "MBR | None" = None
+
+    def __post_init__(self):
+        if self.index_kind not in ("xtree", "rstar"):
+            raise ValueError("index_kind must be 'xtree' or 'rstar'")
+        if self.query_atol < 0.0:
+            raise ValueError("query_atol must be >= 0")
+
+
+@dataclass
+class QueryInfo:
+    """Diagnostics of one :meth:`NNCellIndex.nearest` call."""
+
+    n_candidates: int = 0
+    pages: int = 0
+    distance_computations: int = 0
+    fallback: bool = False  # branch-and-bound fallback was used
+    retried_atol: bool = False  # point query repeated with looser tolerance
+
+
+class NNCellIndex:
+    """Voronoi-cell (solution space) nearest-neighbor index."""
+
+    def __init__(self, points: np.ndarray, config: "BuildConfig | None" = None):
+        """Use :meth:`build`; the constructor only wires the empty state."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self.config = config or BuildConfig()
+        self.points = pts.copy()
+        self.dim = pts.shape[1]
+        self.box = self.config.data_space or MBR.unit_cube(self.dim)
+        if self.box.dim != self.dim:
+            raise ValueError("data_space dimensionality mismatch")
+        if not all(self.box.contains_point(p, atol=1e-12) for p in pts):
+            raise ValueError("all points must lie inside the data space")
+        self._active = np.ones(pts.shape[0], dtype=bool)
+        self._systems: "Dict[int, HalfspaceSystem]" = {}
+        self._cell_rects: "Dict[int, List[MBR]]" = {}
+        self._referencing: "Dict[int, Set[int]]" = {}
+        tree_cls = XTree if self.config.index_kind == "xtree" else RStarTree
+        # Data pages hold points (d coordinates + id); solution-space
+        # pages hold a cell rectangle plus its owner's coordinates
+        # (3d values + id) — the paper's "twice the size of the database".
+        self.data_tree: RStarTree = tree_cls(
+            self.dim,
+            page_size=self.config.page_size,
+            cache_pages=self.config.cache_pages,
+            leaf_entry_bytes=8 * self.dim + 8,
+        )
+        self.cell_tree: RStarTree = tree_cls(
+            self.dim,
+            page_size=self.config.page_size,
+            cache_pages=self.config.cache_pages,
+            leaf_entry_bytes=3 * 8 * self.dim + 8,
+        )
+        self._selector: "Optional[CandidateSelector]" = None
+
+    # ==================================================================
+    # Construction
+    # ==================================================================
+    @classmethod
+    def build(
+        cls, points: np.ndarray, config: "BuildConfig | None" = None
+    ) -> "NNCellIndex":
+        """Precompute the solution space of ``points`` and index it."""
+        index = cls(points, config)
+        index._build()
+        return index
+
+    def _build(self) -> None:
+        n = self.points.shape[0]
+        ids = np.arange(n)
+        if self.config.bulk and n > 1:
+            bulk_load(self.data_tree, self.points, self.points, ids)
+        else:
+            for i in range(n):
+                self.data_tree.insert_point(self.points[i], int(i))
+        self._selector = CandidateSelector(
+            self.points,
+            self.data_tree,
+            self.config.selector,
+            self.config.selector_params,
+        )
+        all_lows: "List[np.ndarray]" = []
+        all_highs: "List[np.ndarray]" = []
+        all_ids: "List[int]" = []
+        for point_id in range(n):
+            system, rects = self._compute_cell(int(point_id))
+            self._register_cell(int(point_id), system, rects)
+            for rect in rects:
+                all_lows.append(rect.low)
+                all_highs.append(rect.high)
+                all_ids.append(int(point_id))
+        if self.config.bulk and len(all_ids) > 1:
+            bulk_load(
+                self.cell_tree,
+                np.stack(all_lows),
+                np.stack(all_highs),
+                all_ids,
+            )
+        else:
+            for low, high, entry_id in zip(all_lows, all_highs, all_ids):
+                self.cell_tree.insert(low, high, entry_id)
+
+    def _compute_cell(
+        self, point_id: int
+    ) -> "Tuple[HalfspaceSystem, List[MBR]]":
+        """Candidate selection -> constraint system -> MBR (-> pieces)."""
+        candidates = self._selector.candidates(point_id)
+        system = cell_system(self.points, point_id, candidates, self.box)
+        return system, self._approximate(system, self.points[point_id])
+
+    def _approximate(
+        self, system: HalfspaceSystem, center: np.ndarray
+    ) -> "List[MBR]":
+        mbr = approximate_cell(
+            system, backend=self.config.lp_backend, center=center
+        )
+        if mbr is None:  # pragma: no cover - full cells contain their centre
+            raise RuntimeError("NN-cell approximation unexpectedly empty")
+        if not self.config.decompose:
+            return [mbr]
+        decomposition = replace(
+            self.config.decomposition, lp_backend=self.config.lp_backend
+        )
+        return decompose_cell(system, mbr, decomposition)
+
+    # ------------------------------------------------------------------
+    # Cell bookkeeping
+    # ------------------------------------------------------------------
+    def _register_cell(
+        self, point_id: int, system: HalfspaceSystem, rects: "List[MBR]"
+    ) -> None:
+        self._systems[point_id] = system
+        self._cell_rects[point_id] = rects
+        for opponent in np.unique(system.point_ids):
+            if opponent >= 0:
+                self._referencing.setdefault(int(opponent), set()).add(point_id)
+
+    def _unregister_cell(self, point_id: int) -> None:
+        system = self._systems.pop(point_id)
+        for opponent in np.unique(system.point_ids):
+            if opponent >= 0:
+                refs = self._referencing.get(int(opponent))
+                if refs is not None:
+                    refs.discard(point_id)
+                    if not refs:
+                        del self._referencing[int(opponent)]
+        del self._cell_rects[point_id]
+
+    def _replace_cell_in_tree(
+        self, point_id: int, new_rects: "List[MBR]"
+    ) -> None:
+        for rect in self._cell_rects[point_id]:
+            removed = self.cell_tree.delete(rect.low, rect.high, point_id)
+            if not removed:  # pragma: no cover - bookkeeping invariant
+                raise RuntimeError(
+                    f"cell rectangle of point {point_id} missing from index"
+                )
+        for rect in new_rects:
+            self.cell_tree.insert(rect.low, rect.high, point_id)
+
+    # ==================================================================
+    # Queries
+    # ==================================================================
+    def nearest(
+        self, query: Sequence[float]
+    ) -> "Tuple[int, float, QueryInfo]":
+        """Nearest neighbor of ``query``: ``(point_id, distance, info)``.
+
+        Inside the data space this is one point query on the solution
+        space index plus a distance scan over the candidate owners.
+        Outside the data space (where NN-cells are not defined) the data
+        index answers via branch-and-bound, with ``info.fallback`` set.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query must be a {self.dim}-vector")
+        info = QueryInfo()
+        if not self.box.contains_point(q, atol=self.config.query_atol):
+            return self._fallback_nearest(q, info)
+
+        before = self.cell_tree.pages.stats.logical_reads
+        candidate_ids = np.unique(
+            self.cell_tree.point_query(q, atol=self.config.query_atol)
+        )
+        if candidate_ids.size == 0:
+            # Roundoff pushed the query through a cell boundary crack:
+            # retry once with a much looser tolerance before giving up.
+            info.retried_atol = True
+            candidate_ids = np.unique(
+                self.cell_tree.point_query(
+                    q, atol=max(self.config.query_atol * 1e4, 1e-6)
+                )
+            )
+        info.pages += self.cell_tree.pages.stats.logical_reads - before
+        if candidate_ids.size == 0:  # pragma: no cover - safety net
+            return self._fallback_nearest(q, info)
+
+        dist_sq = distances_to_points(q, self.points[candidate_ids])
+        info.n_candidates = int(candidate_ids.size)
+        info.distance_computations = int(candidate_ids.size)
+        best = int(np.argmin(dist_sq))
+        return int(candidate_ids[best]), float(np.sqrt(dist_sq[best])), info
+
+    def _fallback_nearest(
+        self, q: np.ndarray, info: QueryInfo
+    ) -> "Tuple[int, float, QueryInfo]":
+        info.fallback = True
+        result = rkv_nearest(self.data_tree, q)
+        info.pages += result.pages
+        info.distance_computations += result.distance_computations
+        return result.nearest_id, result.nearest_distance, info
+
+    def k_nearest(
+        self, query: Sequence[float], k: int
+    ) -> "Tuple[List[int], List[float], QueryInfo]":
+        """Exact k nearest neighbors via the solution-space index.
+
+        The point query yields the order-1 candidates; their k-th best
+        distance is a valid upper bound on the k-NN radius, so one sphere
+        query on the data index completes the answer exactly.  (The
+        paper's future work proposes order-k cells — implemented in
+        :mod:`repro.core.order_k` — for turning this into a single point
+        query; this method is the practical hybrid.)
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query must be a {self.dim}-vector")
+        n_live = len(self)
+        k_eff = min(k, n_live)
+        info = QueryInfo()
+        if not self.box.contains_point(q, atol=self.config.query_atol):
+            info.fallback = True
+            result = hs_k_nearest(self.data_tree, q, k_eff)
+            info.pages += result.pages
+            info.distance_computations += result.distance_computations
+            return result.ids, result.distances, info
+
+        before = self.cell_tree.pages.stats.logical_reads
+        candidates = np.unique(
+            self.cell_tree.point_query(q, atol=self.config.query_atol)
+        )
+        info.pages += self.cell_tree.pages.stats.logical_reads - before
+
+        if candidates.size < k_eff:
+            # Not enough order-1 candidates: let the data index finish.
+            info.fallback = True
+            result = hs_k_nearest(self.data_tree, q, k_eff)
+            info.pages += result.pages
+            info.distance_computations += result.distance_computations
+            return result.ids, result.distances, info
+
+        dist_sq = distances_to_points(q, self.points[candidates])
+        info.n_candidates = int(candidates.size)
+        info.distance_computations += int(candidates.size)
+        order = np.argsort(dist_sq)
+        radius = float(np.sqrt(dist_sq[order[k_eff - 1]]))
+
+        # Every k-NN member lies within the candidates' k-th distance.
+        before = self.data_tree.pages.stats.logical_reads
+        within = self.data_tree.sphere_query(q, radius + self.config.query_atol)
+        info.pages += self.data_tree.pages.stats.logical_reads - before
+        within = np.unique(within)
+        final_sq = distances_to_points(q, self.points[within])
+        info.distance_computations += int(within.size)
+        best = np.argsort(final_sq)[:k_eff]
+        return (
+            [int(within[i]) for i in best],
+            [float(np.sqrt(final_sq[i])) for i in best],
+            info,
+        )
+
+    def within_radius(
+        self, center: Sequence[float], radius: float
+    ) -> np.ndarray:
+        """Ids of all points within Euclidean distance ``radius``.
+
+        Range queries bypass the solution space (cells answer *nearest*
+        questions); the data index serves them directly.
+        """
+        if radius < 0.0:
+            raise ValueError("radius must be >= 0")
+        c = np.asarray(center, dtype=np.float64)
+        if c.shape != (self.dim,):
+            raise ValueError(f"center must be a {self.dim}-vector")
+        candidates = np.unique(self.data_tree.sphere_query(c, radius))
+        if candidates.size == 0:
+            return candidates
+        dist_sq = distances_to_points(c, self.points[candidates])
+        return candidates[dist_sq <= radius * radius + 1e-12]
+
+    def nearest_batch(
+        self, queries: np.ndarray
+    ) -> "Tuple[np.ndarray, np.ndarray]":
+        """Vectorised convenience: NN ids and distances for many queries."""
+        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if qs.shape[1] != self.dim:
+            raise ValueError(f"queries must be (m, {self.dim})")
+        ids = np.empty(qs.shape[0], dtype=np.int64)
+        dists = np.empty(qs.shape[0])
+        for i, q in enumerate(qs):
+            ids[i], dists[i], __ = self.nearest(q)
+        return ids, dists
+
+    # ==================================================================
+    # Dynamic updates
+    # ==================================================================
+    def insert(self, point: Sequence[float]) -> int:
+        """Insert a new data point; returns its id.
+
+        Existing NN-cells can only shrink (their systems gain one
+        bisector), so the update is local: only cells whose approximation
+        is not entirely on the old owner's side of the new bisector are
+        recomputed.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        if p.shape != (self.dim,):
+            raise ValueError(f"point must be a {self.dim}-vector")
+        if not self.box.contains_point(p, atol=1e-12):
+            raise ValueError("point lies outside the data space")
+        new_id = self.points.shape[0]
+        self.points = np.vstack([self.points, p[None, :]])
+        self._active = np.append(self._active, True)
+        self._selector.extend_points(p[None, :])
+        self.data_tree.insert_point(p, new_id)
+
+        for cell_id in self._cells_possibly_shrunk_by(p):
+            a, b = bisector(self.points[cell_id], p)
+            old_system = self._systems[cell_id]
+            new_system = old_system.with_constraint(a, b, point_id=new_id)
+            rects = self._approximate(new_system, self.points[cell_id])
+            self._replace_cell_in_tree(cell_id, rects)
+            self._unregister_cell(cell_id)
+            self._register_cell(cell_id, new_system, rects)
+
+        system, rects = self._compute_cell(new_id)
+        self._register_cell(new_id, system, rects)
+        for rect in rects:
+            self.cell_tree.insert(rect.low, rect.high, new_id)
+        return new_id
+
+    def _cells_possibly_shrunk_by(self, p: np.ndarray) -> "List[int]":
+        """Owners whose stored approximation may intersect the region now
+        claimed by ``p``.
+
+        A cell entry ``r`` owned by ``c`` is certainly unaffected when
+        ``r`` lies inside the half-space of points closer to ``c`` than to
+        ``p``.  Whole subtrees are pruned with the weaker but
+        owner-independent test ``mindist(region, p) >= diam(region)``
+        (every owner lives inside its own rectangle, hence inside the
+        region, so no point of the region can prefer ``p``).
+        """
+        affected: "Set[int]" = set()
+        stack = [self.cell_tree.root_id]
+        while stack:
+            node = self.cell_tree._read(stack.pop())
+            if node.n_entries == 0:
+                continue
+            region = node.mbr()
+            nearest = np.clip(p, region.low, region.high)
+            mindist_sq = float(np.sum((nearest - p) ** 2))
+            diam_sq = float(np.sum(region.extents ** 2))
+            if mindist_sq >= diam_sq:
+                continue
+            if node.is_leaf:
+                for low, high, owner in node.entries():
+                    if owner in affected:
+                        continue
+                    a, b = bisector(self.points[owner], p)
+                    if not box_inside_halfspace(MBR(low, high), a, b):
+                        affected.add(owner)
+            else:
+                stack.extend(int(i) for i in node.ids)
+        return sorted(affected)
+
+    def delete(self, point_id: int) -> None:
+        """Remove a point; the cells that referenced it are recomputed
+        (they can only grow, so recomputation keeps the superset
+        guarantee)."""
+        if not self._is_active(point_id):
+            raise KeyError(f"point {point_id} is not in the index")
+        if int(np.sum(self._active)) == 1:
+            raise ValueError("cannot delete the last remaining point")
+        self._replace_cell_in_tree(point_id, [])
+        self._unregister_cell(point_id)
+        removed = self.data_tree.delete(
+            self.points[point_id], self.points[point_id], point_id
+        )
+        if not removed:  # pragma: no cover - bookkeeping invariant
+            raise RuntimeError(f"point {point_id} missing from data index")
+        self._active[point_id] = False
+        self._selector.set_active(point_id, False)
+
+        for cell_id in sorted(self._referencing.get(point_id, set())):
+            system, rects = self._compute_cell(cell_id)
+            self._replace_cell_in_tree(cell_id, rects)
+            self._unregister_cell(cell_id)
+            self._register_cell(cell_id, system, rects)
+        self._referencing.pop(point_id, None)
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    def _is_active(self, point_id: int) -> bool:
+        return (
+            0 <= point_id < self._active.shape[0]
+            and bool(self._active[point_id])
+        )
+
+    def __len__(self) -> int:
+        return int(np.sum(self._active))
+
+    @property
+    def active_ids(self) -> np.ndarray:
+        return np.flatnonzero(self._active)
+
+    def cell_rectangles(self, point_id: int) -> "List[MBR]":
+        """The stored (decomposed) approximation of one cell."""
+        if not self._is_active(point_id):
+            raise KeyError(f"point {point_id} is not in the index")
+        return list(self._cell_rects[point_id])
+
+    def constraint_system(self, point_id: int) -> HalfspaceSystem:
+        """The bisector constraint system backing one cell."""
+        if not self._is_active(point_id):
+            raise KeyError(f"point {point_id} is not in the index")
+        return self._systems[point_id]
+
+    def all_cell_rectangles(self) -> "List[Tuple[int, MBR]]":
+        """Every stored rectangle as ``(owner id, rect)`` pairs."""
+        return [
+            (point_id, rect)
+            for point_id in sorted(self._cell_rects)
+            for rect in self._cell_rects[point_id]
+        ]
+
+    def stats(self) -> "Dict[str, float]":
+        """Sizing diagnostics: rectangle counts, volumes, tree shape."""
+        rect_count = sum(len(r) for r in self._cell_rects.values())
+        total_volume = sum(
+            rect.volume()
+            for rects in self._cell_rects.values()
+            for rect in rects
+        )
+        box_volume = self.box.volume()
+        return {
+            "n_points": float(len(self)),
+            "n_rectangles": float(rect_count),
+            "expected_candidates": total_volume / box_volume,
+            "cell_tree_height": float(self.cell_tree.height),
+            "data_tree_height": float(self.data_tree.height),
+            "cell_tree_blocks": float(self.cell_tree.pages.total_blocks()),
+        }

@@ -1,0 +1,143 @@
+"""Saving and loading NN-cell indexes.
+
+Precomputing the solution space is the expensive step of the paper's
+approach (thousands of LPs), so a production deployment computes it once
+and reuses it.  This module serialises everything the precomputation
+produced — the points, each cell's constraint system and its (decomposed)
+rectangle approximations — into a single ``.npz`` archive, and rebuilds
+the in-memory index (including both trees, via bulk loading) on load.
+
+The archive stores *results*, not tree pages: rebuilding the trees from
+the stored rectangles is deterministic and costs milliseconds, while
+keeping the format independent of node-layout details.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..geometry.halfspace import HalfspaceSystem
+from ..geometry.mbr import MBR
+from .candidates import CandidateSelector, SelectorKind, SelectorParams
+from .nncell_index import BuildConfig, NNCellIndex
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: NNCellIndex, path: "Union[str, Path]") -> None:
+    """Serialise a built index to ``path`` (a ``.npz`` archive)."""
+    active = index.active_ids
+    arrays = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "points": index.points,
+        "active": index._active,
+        "box_low": index.box.low,
+        "box_high": index.box.high,
+        "selector": np.bytes_(index.config.selector.value.encode()),
+        "sphere_radius_factor": np.float64(
+            index.config.selector_params.sphere_radius_factor
+        ),
+        "decompose": np.bool_(index.config.decompose),
+        "index_kind": np.bytes_(index.config.index_kind.encode()),
+        "page_size": np.int64(index.config.page_size),
+        "cache_pages": np.int64(index.config.cache_pages),
+        "query_atol": np.float64(index.config.query_atol),
+    }
+    for point_id in active:
+        pid = int(point_id)
+        system = index._systems[pid]
+        arrays[f"sys_a_{pid}"] = system.a
+        arrays[f"sys_b_{pid}"] = system.b
+        arrays[f"sys_ids_{pid}"] = system.point_ids
+        rects = index._cell_rects[pid]
+        arrays[f"rect_lows_{pid}"] = np.stack([r.low for r in rects])
+        arrays[f"rect_highs_{pid}"] = np.stack([r.high for r in rects])
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_index(path: "Union[str, Path]") -> NNCellIndex:
+    """Rebuild an index saved with :func:`save_index`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index archive version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        points = archive["points"]
+        active = archive["active"]
+        box = MBR(archive["box_low"], archive["box_high"])
+        config = BuildConfig(
+            selector=SelectorKind(bytes(archive["selector"]).decode()),
+            selector_params=SelectorParams(
+                sphere_radius_factor=float(archive["sphere_radius_factor"])
+            ),
+            decompose=bool(archive["decompose"]),
+            index_kind=bytes(archive["index_kind"]).decode(),
+            page_size=int(archive["page_size"]),
+            cache_pages=int(archive["cache_pages"]),
+            query_atol=float(archive["query_atol"]),
+            data_space=box,
+        )
+
+        index = NNCellIndex(points[active], config)
+        # Restore the full id space (deleted rows keep their slots so the
+        # stored constraint point_ids stay valid).
+        index.points = points.copy()
+        index._active = active.copy()
+
+        for pid in np.flatnonzero(active):
+            pid = int(pid)
+            system = HalfspaceSystem(
+                archive[f"sys_a_{pid}"],
+                archive[f"sys_b_{pid}"],
+                box,
+                archive[f"sys_ids_{pid}"],
+            )
+            rect_lows = archive[f"rect_lows_{pid}"]
+            rect_highs = archive[f"rect_highs_{pid}"]
+            rects = [
+                MBR(rect_lows[i], rect_highs[i])
+                for i in range(rect_lows.shape[0])
+            ]
+            index._register_cell(pid, system, rects)
+
+    _rebuild_runtime_state(index)
+    return index
+
+
+def _rebuild_runtime_state(index: NNCellIndex) -> None:
+    """Reconstruct the trees and selector from the restored cell data."""
+    from ..index.bulk import bulk_load
+
+    active = index.active_ids
+    live_points = index.points[active]
+    if active.size > 1:
+        bulk_load(index.data_tree, live_points, live_points, active)
+    else:
+        index.data_tree.insert_point(live_points[0], int(active[0]))
+
+    lows, highs, owners = [], [], []
+    for pid in active:
+        for rect in index._cell_rects[int(pid)]:
+            lows.append(rect.low)
+            highs.append(rect.high)
+            owners.append(int(pid))
+    if len(owners) > 1:
+        bulk_load(index.cell_tree, np.stack(lows), np.stack(highs), owners)
+    else:
+        index.cell_tree.insert(lows[0], highs[0], owners[0])
+
+    index._selector = CandidateSelector(
+        index.points,
+        index.data_tree,
+        index.config.selector,
+        index.config.selector_params,
+    )
+    for pid in np.flatnonzero(~index._active):
+        index._selector.set_active(int(pid), False)

@@ -1,0 +1,99 @@
+"""Approximation quality metrics (Figures 4b, 5 and 13).
+
+The paper measures approximation quality as the *average overlap of the
+approximations*, which "directly corresponds to the query performance":
+the more the cell MBRs overlap, the more candidate rectangles a point
+query returns.  Two equivalent formulations are provided:
+
+* :func:`expected_candidates` — analytic: since the NN-cells tile the data
+  space, the expected number of rectangles containing a uniformly random
+  query point equals ``sum(vol(rect)) / vol(DS)``; the value is exactly
+  1.0 for perfect (grid) approximations and grows with overlap;
+* :func:`measured_overlap` — empirical: Monte-Carlo average of candidate
+  counts over sample query points (usable for non-uniform query models).
+
+The *quality-to-performance ratio* of Figure 5 combines quality with the
+construction cost of the selector strategy; higher is better.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.mbr import MBR
+
+__all__ = [
+    "expected_candidates",
+    "average_overlap",
+    "measured_overlap",
+    "quality_to_performance",
+]
+
+
+def _stack(rects: "Sequence[MBR]") -> "Tuple[np.ndarray, np.ndarray]":
+    if not rects:
+        raise ValueError("need at least one rectangle")
+    lows = np.stack([r.low for r in rects])
+    highs = np.stack([r.high for r in rects])
+    return lows, highs
+
+
+def expected_candidates(rects: "Sequence[MBR]", box: MBR) -> float:
+    """Expected number of rectangles containing a uniform query point.
+
+    ``sum(vol(r)) / vol(box)``; equals 1.0 when the rectangles tile the
+    box exactly and grows linearly with overlapping volume.
+    """
+    lows, highs = _stack(rects)
+    volumes = np.prod(highs - lows, axis=1)
+    box_volume = box.volume()
+    if box_volume <= 0.0:
+        raise ValueError("data space has zero volume")
+    return float(np.sum(volumes)) / box_volume
+
+
+def average_overlap(rects: "Sequence[MBR]", box: MBR) -> float:
+    """The paper's overlap measure: expected *surplus* candidates.
+
+    Zero for a perfect tiling (``expected_candidates == 1``); the paper's
+    Figure 4b/13 y-axis grows from ~0 exactly like this quantity.
+    """
+    return max(0.0, expected_candidates(rects, box) - 1.0)
+
+
+def measured_overlap(
+    rects: "Sequence[MBR]",
+    queries: np.ndarray,
+) -> float:
+    """Monte-Carlo candidate count: mean rectangles containing each query."""
+    lows, highs = _stack(rects)
+    qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if qs.shape[1] != lows.shape[1]:
+        raise ValueError("query dimensionality mismatch")
+    counts = np.empty(qs.shape[0])
+    for i, q in enumerate(qs):
+        inside = np.logical_and(
+            np.all(lows <= q + 1e-12, axis=1), np.all(q <= highs + 1e-12, axis=1)
+        )
+        counts[i] = float(np.sum(inside))
+    return float(np.mean(counts))
+
+
+def quality_to_performance(
+    overlap: float, build_seconds: float, epsilon: float = 1e-9
+) -> float:
+    """Figure 5's combined criterion (higher = better).
+
+    Quality is the reciprocal of (1 + overlap) — perfect approximations
+    score 1 — and performance is the reciprocal of construction time, so
+    the ratio rewards strategies that are both tight and cheap.  The
+    absolute scale is arbitrary (the paper's axis is unlabelled); only the
+    ranking across strategies is meaningful.
+    """
+    if build_seconds < 0.0:
+        raise ValueError("build_seconds must be >= 0")
+    if overlap < 0.0:
+        raise ValueError("overlap must be >= 0")
+    return 1.0 / ((1.0 + overlap) * (build_seconds + epsilon))

@@ -1,0 +1,27 @@
+"""Workload generators: the paper's synthetic distributions and a
+synthetic substitute for its proprietary Fourier dataset."""
+
+from .fourier import fourier_points, fourier_signals
+from .registry import dataset_names, make_dataset, register_dataset
+from .synthetic import (
+    clustered_points,
+    diagonal_points,
+    grid_points,
+    query_points,
+    sparse_points,
+    uniform_points,
+)
+
+__all__ = [
+    "clustered_points",
+    "dataset_names",
+    "diagonal_points",
+    "fourier_points",
+    "fourier_signals",
+    "grid_points",
+    "make_dataset",
+    "query_points",
+    "register_dataset",
+    "sparse_points",
+    "uniform_points",
+]

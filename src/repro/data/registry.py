@@ -1,0 +1,57 @@
+"""Named dataset factory used by benchmarks and examples.
+
+Keeps experiment scripts declarative: a dataset is a name plus keyword
+parameters, resolved here to a generator call.  New generators register
+with :func:`register_dataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .fourier import fourier_points
+from .synthetic import (
+    clustered_points,
+    diagonal_points,
+    grid_points,
+    sparse_points,
+    uniform_points,
+)
+
+__all__ = ["make_dataset", "register_dataset", "dataset_names"]
+
+_REGISTRY: "Dict[str, Callable[..., np.ndarray]]" = {}
+
+
+def register_dataset(name: str, factory: "Callable[..., np.ndarray]") -> None:
+    """Register a dataset factory under ``name`` (overwrites silently so
+    experiments can shadow built-ins with custom workloads)."""
+    if not name:
+        raise ValueError("dataset name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def dataset_names() -> "list[str]":
+    """Registered dataset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_dataset(name: str, **params) -> np.ndarray:
+    """Instantiate the dataset registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {dataset_names()}"
+        ) from None
+    return factory(**params)
+
+
+register_dataset("uniform", uniform_points)
+register_dataset("grid", grid_points)
+register_dataset("sparse", sparse_points)
+register_dataset("clustered", clustered_points)
+register_dataset("diagonal", diagonal_points)
+register_dataset("fourier", fourier_points)

@@ -1,0 +1,147 @@
+"""Synthetic point distributions from the paper's Figure 2 and Section 4.
+
+The paper distinguishes (and we generate):
+
+* **uniform** — coordinates drawn independently and uniformly; uniform in
+  every axis projection but *not* uniform in multidimensional space (the
+  bulk of the evaluation uses this);
+* **multidimensional uniform** (``grid_points``) — a regular grid where
+  every equal-size cell holds one point: the *best case* for the NN-cell
+  approach, since MBR approximations coincide with the cells;
+* **sparse** — few, widely scattered points whose NN-cells stretch across
+  most of the data space: the *worst case*, with near-total approximation
+  overlap;
+* **clustered** — Gaussian clusters, the structure the paper ascribes to
+  real high-dimensional data ("clusters are likely to occur").
+
+All generators return an ``(n, d)`` float64 array inside the unit cube and
+take an integer ``seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_points",
+    "grid_points",
+    "sparse_points",
+    "diagonal_points",
+    "clustered_points",
+    "query_points",
+]
+
+
+def uniform_points(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    """``n`` points with iid uniform coordinates in ``[0, 1]^dim``."""
+    _check(n, dim)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=(n, dim))
+
+
+def grid_points(per_axis: int, dim: int, jitter: float = 0.0,
+                seed: int = 0) -> np.ndarray:
+    """A regular multidimensional-uniform grid of ``per_axis ** dim`` points.
+
+    Points sit at cell centres of the regular partition of the unit cube
+    into ``per_axis`` slices per axis, optionally jittered by a uniform
+    offset of up to ``jitter`` cell-halves (``jitter=0`` reproduces the
+    paper's ideal case where NN-cells equal their MBRs).
+    """
+    if per_axis < 1:
+        raise ValueError("per_axis must be >= 1")
+    _check(1, dim)
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be within [0, 1]")
+    axes = (np.arange(per_axis) + 0.5) / per_axis
+    mesh = np.meshgrid(*([axes] * dim), indexing="ij")
+    pts = np.stack([m.ravel() for m in mesh], axis=1)
+    if jitter > 0.0:
+        rng = np.random.default_rng(seed)
+        half_cell = 0.5 / per_axis
+        pts = pts + rng.uniform(
+            -jitter * half_cell, jitter * half_cell, size=pts.shape
+        )
+        np.clip(pts, 0.0, 1.0, out=pts)
+    return pts
+
+
+def sparse_points(n: int, dim: int, seed: int = 0,
+                  spread: float = 1.0) -> np.ndarray:
+    """Few, far-apart points: a greedy farthest-point subsample.
+
+    Draws ``8 n`` uniform candidates and keeps the ``n`` that greedily
+    maximise the minimum pairwise distance, yielding the sparse population
+    whose NN-cell approximations degenerate toward the whole data space
+    (Figure 2e/f).  ``spread < 1`` shrinks the population toward the cube
+    centre, sparsifying the boundary region as well.
+    """
+    _check(n, dim)
+    rng = np.random.default_rng(seed)
+    candidates = rng.uniform(size=(max(8 * n, n + 1), dim))
+    chosen = [int(rng.integers(candidates.shape[0]))]
+    min_dist = np.linalg.norm(candidates - candidates[chosen[0]], axis=1)
+    for __ in range(n - 1):
+        nxt = int(np.argmax(min_dist))
+        chosen.append(nxt)
+        dist = np.linalg.norm(candidates - candidates[nxt], axis=1)
+        np.minimum(min_dist, dist, out=min_dist)
+    pts = candidates[chosen]
+    if spread != 1.0:
+        pts = 0.5 + (pts - 0.5) * spread
+    return pts
+
+
+def diagonal_points(n: int, dim: int, jitter: float = 0.02,
+                    seed: int = 0) -> np.ndarray:
+    """Points along the main diagonal of the unit cube.
+
+    The extreme *sparse* population of Figure 2e/f: the NN-cells of
+    diagonal points are slabs orthogonal to the diagonal, maximally
+    oblique to every axis, so their MBR approximations degenerate toward
+    the whole data space — the worst case for the (undecomposed) NN-cell
+    approach and the best showcase for Section 3's decomposition.
+    """
+    _check(n, dim)
+    if jitter < 0.0:
+        raise ValueError("jitter must be >= 0")
+    rng = np.random.default_rng(seed)
+    base = (np.arange(n) + 0.5) / n
+    pts = np.tile(base[:, None], (1, dim))
+    if jitter > 0.0:
+        pts = pts + rng.uniform(-jitter, jitter, size=pts.shape)
+    np.clip(pts, 0.0, 1.0, out=pts)
+    return pts
+
+
+def clustered_points(
+    n: int,
+    dim: int,
+    n_clusters: int = 10,
+    cluster_std: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gaussian-cluster mixture clipped to the unit cube."""
+    _check(n, dim)
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    if cluster_std <= 0.0:
+        raise ValueError("cluster_std must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.15, 0.85, size=(n_clusters, dim))
+    assignment = rng.integers(n_clusters, size=n)
+    pts = centers[assignment] + rng.normal(scale=cluster_std, size=(n, dim))
+    np.clip(pts, 0.0, 1.0, out=pts)
+    return pts
+
+
+def query_points(n: int, dim: int, seed: int = 1_000_003) -> np.ndarray:
+    """Uniform query workload, seeded apart from the data by default."""
+    return uniform_points(n, dim, seed=seed)
+
+
+def _check(n: int, dim: int) -> None:
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if dim < 1:
+        raise ValueError("dim must be >= 1")

@@ -1,0 +1,55 @@
+"""Evaluation harness: measurements, cost models and per-figure experiments."""
+
+from .costmodel import (
+    expected_leaf_accesses,
+    expected_nn_distance,
+    nn_sphere_volume_fraction,
+    unit_ball_volume,
+)
+from .experiments import (
+    ComparisonRun,
+    compare_methods,
+    figure2_cell_gallery,
+    figure4_selector_tradeoff,
+    figure5_quality_performance,
+    figure7_to_9_dimension_sweep,
+    figure10_size_sweep,
+    figure11_12_fourier,
+    figure13_decomposition,
+)
+from .harness import (
+    CostModel,
+    QueryMeasurement,
+    Timer,
+    measure_nncell_queries,
+    measure_scan_queries,
+    measure_tree_queries,
+)
+from .metrics import speedup_percent, summarize_series, verify_against_scan
+from .reporting import ResultTable
+
+__all__ = [
+    "ComparisonRun",
+    "CostModel",
+    "QueryMeasurement",
+    "ResultTable",
+    "Timer",
+    "compare_methods",
+    "expected_leaf_accesses",
+    "expected_nn_distance",
+    "figure2_cell_gallery",
+    "figure4_selector_tradeoff",
+    "figure5_quality_performance",
+    "figure7_to_9_dimension_sweep",
+    "figure10_size_sweep",
+    "figure11_12_fourier",
+    "figure13_decomposition",
+    "measure_nncell_queries",
+    "measure_scan_queries",
+    "measure_tree_queries",
+    "nn_sphere_volume_fraction",
+    "speedup_percent",
+    "summarize_series",
+    "unit_ball_volume",
+    "verify_against_scan",
+]

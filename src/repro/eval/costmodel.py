@@ -1,0 +1,85 @@
+"""Analytic cost model for high-dimensional NN search.
+
+The paper motivates precomputing the solution space with the theoretical
+result of [BBKK 97] ("A Cost Model for Nearest Neighbor Search in
+High-Dimensional Data Spaces"): under uniformity assumptions, classic
+index-based NN search must touch a growing fraction of the database as
+the dimensionality rises.  This module reproduces that model's headline
+quantities, which the experiment notes in EXPERIMENTS.md use to sanity
+check the measured baselines:
+
+* :func:`expected_nn_distance` — the expected distance from a uniform
+  query point to its nearest data point (derived from the volume of the
+  d-dimensional ball);
+* :func:`nn_sphere_volume_fraction` — the fraction of the data space
+  covered by the NN sphere (rises toward 1 with ``d``: the "curse");
+* :func:`expected_leaf_accesses` — a Minkowski-sum estimate of how many
+  data pages an NN query must touch on a block-partitioned index.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "unit_ball_volume",
+    "expected_nn_distance",
+    "nn_sphere_volume_fraction",
+    "expected_leaf_accesses",
+]
+
+
+def unit_ball_volume(dim: int) -> float:
+    """Volume of the unit ball in ``dim`` dimensions."""
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    return math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+
+
+def expected_nn_distance(n: int, dim: int) -> float:
+    """Expected NN distance for ``n`` uniform points in ``[0,1]^dim``.
+
+    Solves ``n * vol_ball(r) = 1`` for ``r`` — the radius at which the
+    query sphere is expected to capture one point.  (The paper's sphere
+    selector heuristic is twice this scale, modulo the ball-volume
+    constant.)
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (1.0 / (n * unit_ball_volume(dim))) ** (1.0 / dim)
+
+
+def nn_sphere_volume_fraction(n: int, dim: int) -> float:
+    """Fraction of the data space *spanned* by the expected NN sphere.
+
+    Uses the Minkowski bounding-box surrogate ``min(1, (2 r)^d)`` — the
+    volume of the axis-aligned cube enclosing the NN sphere — because the
+    ball volume itself identically equals ``1/n`` by construction.  The
+    surrogate measures how much of the data space a correct NN search
+    must be prepared to inspect; values near 1 are the [BBKK 97] dilemma
+    (the NN sphere spans the whole space)."""
+    r = expected_nn_distance(n, dim)
+    return min(1.0, (2.0 * r) ** dim)
+
+
+def expected_leaf_accesses(
+    n: int, dim: int, points_per_page: int
+) -> float:
+    """Estimated data pages touched by an exact NN query.
+
+    Model: leaves partition the cube into ``P = n / c`` hyper-cubic pages
+    of side ``s = (c / n)^(1/d)``; a page is touched when it intersects
+    the NN sphere of radius ``r``, which by a Minkowski-sum argument has
+    probability ``min(1, (s + 2 r)^d / s^d * (c / n))`` per page.  The
+    estimate saturates at ``P`` — full scan — exactly the high-``d``
+    behaviour the paper's Figure 7 baselines show.
+    """
+    if points_per_page < 1:
+        raise ValueError("points_per_page must be >= 1")
+    if n < points_per_page:
+        return 1.0
+    n_pages = n / points_per_page
+    side = (points_per_page / n) ** (1.0 / dim)
+    r = expected_nn_distance(n, dim)
+    touched_fraction = min(1.0, (side + 2.0 * r) ** dim)
+    return min(n_pages, touched_fraction / side ** dim)

@@ -1,0 +1,63 @@
+"""Derived experiment metrics: speed-ups, agreement checks, summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.nncell_index import NNCellIndex
+from ..geometry.distance import nearest_of
+
+__all__ = ["speedup_percent", "verify_against_scan", "summarize_series"]
+
+
+def speedup_percent(baseline_seconds: float, improved_seconds: float) -> float:
+    """Speed-up of *improved* over *baseline* in percent, as the paper's
+    Figure 8 reports it (``100 * baseline / improved``; >100 means the
+    improved method is faster)."""
+    if improved_seconds <= 0.0:
+        raise ValueError("improved_seconds must be positive")
+    if baseline_seconds < 0.0:
+        raise ValueError("baseline_seconds must be >= 0")
+    return 100.0 * baseline_seconds / improved_seconds
+
+
+def verify_against_scan(
+    index: NNCellIndex,
+    points: np.ndarray,
+    queries: np.ndarray,
+    atol: float = 1e-9,
+) -> "Dict[str, float]":
+    """Compare the cell index answer with brute force on every query.
+
+    Returns mismatch statistics; the no-false-dismissal guarantee (Lemma
+    2) means ``mismatches`` must be zero, which the test suite asserts on
+    every configuration.
+    """
+    queries = np.atleast_2d(queries)
+    mismatches = 0
+    fallbacks = 0
+    for q in queries:
+        pid, dist, info = index.nearest(q)
+        __, true_dist = nearest_of(q, points)
+        fallbacks += int(info.fallback)
+        if abs(dist - true_dist) > atol:
+            mismatches += 1
+    return {
+        "queries": float(queries.shape[0]),
+        "mismatches": float(mismatches),
+        "fallbacks": float(fallbacks),
+    }
+
+
+def summarize_series(values: "Sequence[float]") -> "Dict[str, float]":
+    """Mean / min / max summary of a measurement series."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("series must be non-empty")
+    return {
+        "mean": float(np.mean(arr)),
+        "min": float(np.min(arr)),
+        "max": float(np.max(arr)),
+    }

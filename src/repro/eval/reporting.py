@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment in :mod:`repro.eval.experiments` returns a
+:class:`ResultTable`; the benchmark harness prints it so a run regenerates
+the paper's rows/series on stdout, and EXPERIMENTS.md quotes the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment rows (ordered dict per row)."""
+
+    title: str
+    columns: "List[str]"
+    rows: "List[Dict[str, object]]" = field(default_factory=list)
+    notes: "List[str]" = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; every declared column must be present."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row is missing columns: {missing}")
+        self.rows.append({c: values[c] for c in self.columns})
+
+    def column(self, name: str) -> "List[object]":
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [[_fmt(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (header + rows)."""
+        out = [",".join(self.columns)]
+        out.extend(
+            ",".join(_fmt(row[c]) for c in self.columns) for row in self.rows
+        )
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,55 @@
+"""Geometric substrate: rectangles, distances, half-space systems."""
+
+from .distance import (
+    distances_to_points,
+    euclidean,
+    euclidean_sq,
+    maxdist_sq,
+    mindist_sq,
+    mindist_sq_arrays,
+    minmaxdist_sq,
+    minmaxdist_sq_arrays,
+    nearest_of,
+    pairwise_sq,
+)
+from .halfspace import (
+    HalfspaceSystem,
+    bisector,
+    bisectors_from_points,
+    box_inside_halfspace,
+    box_intersects_halfspace,
+)
+from .mbr import (
+    MBR,
+    contains_point_arrays,
+    intersect_arrays,
+    mbr_of_points,
+    overlap_volume_arrays,
+    total_pairwise_overlap,
+    union_all,
+)
+
+__all__ = [
+    "MBR",
+    "HalfspaceSystem",
+    "bisector",
+    "bisectors_from_points",
+    "box_inside_halfspace",
+    "box_intersects_halfspace",
+    "contains_point_arrays",
+    "distances_to_points",
+    "euclidean",
+    "euclidean_sq",
+    "intersect_arrays",
+    "maxdist_sq",
+    "mbr_of_points",
+    "mindist_sq",
+    "mindist_sq_arrays",
+    "minmaxdist_sq",
+    "minmaxdist_sq_arrays",
+    "nearest_of",
+    "overlap_volume_arrays",
+    "pairwise_sq",
+    "total_pairwise_overlap",
+    "union_all",
+]

@@ -1,0 +1,141 @@
+"""Distance functions for points and rectangles.
+
+Provides the Euclidean machinery the index layer needs for nearest-neighbor
+search: plain point-to-point distances (vectorised), plus the classic
+``MINDIST`` / ``MINMAXDIST`` / ``MAXDIST`` bounds between a query point and
+an MBR from Roussopoulos, Kelley & Vincent (SIGMOD 1995) — the pruning
+metrics of the RKV branch-and-bound algorithm the paper benchmarks against.
+
+All functions operate on squared distances internally where possible; the
+``*_sq`` variants expose that to callers that only compare distances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "euclidean",
+    "euclidean_sq",
+    "pairwise_sq",
+    "distances_to_points",
+    "nearest_of",
+    "mindist_sq",
+    "minmaxdist_sq",
+    "maxdist_sq",
+    "mindist_sq_arrays",
+    "minmaxdist_sq_arrays",
+]
+
+
+def euclidean_sq(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance between two points."""
+    diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    return float(np.dot(diff, diff))
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points."""
+    return float(np.sqrt(euclidean_sq(a, b)))
+
+
+def pairwise_sq(points: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` matrix of squared distances between rows."""
+    pts = np.asarray(points, dtype=np.float64)
+    sq = np.sum(pts * pts, axis=1)
+    gram = pts @ pts.T
+    dists = sq[:, None] + sq[None, :] - 2.0 * gram
+    np.clip(dists, 0.0, None, out=dists)
+    return dists
+
+
+def distances_to_points(query: Sequence[float], points: np.ndarray) -> np.ndarray:
+    """Vector of squared distances from ``query`` to each row of ``points``."""
+    q = np.asarray(query, dtype=np.float64)
+    diff = np.asarray(points, dtype=np.float64) - q
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def nearest_of(query: Sequence[float], points: np.ndarray) -> "tuple[int, float]":
+    """Index and Euclidean distance of the row of ``points`` nearest to
+    ``query``.  Ties break to the lowest index (numpy argmin semantics)."""
+    dists = distances_to_points(query, points)
+    idx = int(np.argmin(dists))
+    return idx, float(np.sqrt(dists[idx]))
+
+
+# ----------------------------------------------------------------------
+# Point <-> rectangle bounds (RKV pruning metrics)
+# ----------------------------------------------------------------------
+
+def mindist_sq(query: Sequence[float], low: np.ndarray, high: np.ndarray) -> float:
+    """Squared distance from ``query`` to the nearest point of the MBR.
+
+    Zero when the query lies inside the rectangle.  ``MINDIST`` is a lower
+    bound on the distance from the query to any object inside the MBR.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    nearest = np.clip(q, low, high)
+    diff = nearest - q
+    return float(np.dot(diff, diff))
+
+
+def maxdist_sq(query: Sequence[float], low: np.ndarray, high: np.ndarray) -> float:
+    """Squared distance from ``query`` to the farthest corner of the MBR."""
+    q = np.asarray(query, dtype=np.float64)
+    farthest = np.where(np.abs(q - low) > np.abs(q - high), low, high)
+    diff = farthest - q
+    return float(np.dot(diff, diff))
+
+
+def minmaxdist_sq(
+    query: Sequence[float], low: np.ndarray, high: np.ndarray
+) -> float:
+    """Squared ``MINMAXDIST`` of Roussopoulos et al.
+
+    The minimum over dimensions ``k`` of the maximal distance to the face of
+    the MBR nearest to the query along ``k``.  It upper-bounds the distance
+    to the nearest *object* contained in the MBR (every face of an MBR must
+    touch at least one object), which makes it a valid pruning bound for NN
+    search: any MBR whose MINDIST exceeds another's MINMAXDIST cannot hold
+    the nearest neighbor.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    mid = (low + high) / 2.0
+    # rm[k]: the bound of dimension k closer to the query.
+    rm = np.where(q <= mid, low, high)
+    # rM[k]: the bound of dimension k farther from the query.
+    r_max = np.where(q >= mid, low, high)
+    far_sq = (q - r_max) ** 2
+    near_sq = (q - rm) ** 2
+    total_far = float(np.sum(far_sq))
+    # For each k: use the near face along k, the far corners elsewhere.
+    candidates = total_far - far_sq + near_sq
+    return float(np.min(candidates))
+
+
+def mindist_sq_arrays(
+    query: Sequence[float], lows: np.ndarray, highs: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`mindist_sq` over ``(n, d)`` bound arrays."""
+    q = np.asarray(query, dtype=np.float64)
+    nearest = np.clip(q, lows, highs)
+    diff = nearest - q
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def minmaxdist_sq_arrays(
+    query: Sequence[float], lows: np.ndarray, highs: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`minmaxdist_sq` over ``(n, d)`` bound arrays."""
+    q = np.asarray(query, dtype=np.float64)
+    mid = (lows + highs) / 2.0
+    rm = np.where(q <= mid, lows, highs)
+    r_max = np.where(q >= mid, lows, highs)
+    far_sq = (q - r_max) ** 2
+    near_sq = (q - rm) ** 2
+    total_far = np.sum(far_sq, axis=1, keepdims=True)
+    candidates = total_far - far_sq + near_sq
+    return np.min(candidates, axis=1)

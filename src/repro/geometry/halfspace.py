@@ -1,0 +1,241 @@
+"""Half-space systems: the geometric form of NN-cell constraints.
+
+An (order-1) NN-cell of a data point ``P`` is the set of query points ``x``
+in the data space with ``d(x, P) <= d(x, Q)`` for every other data point
+``Q`` (Definition 2 of the paper).  For the Euclidean metric each such
+condition is the *bisector half-space*
+
+    ``2 (Q - P) . x  <=  |Q|^2 - |P|^2``
+
+so a NN-cell is the intersection of at most ``N - 1`` half-spaces with the
+(box-shaped) data space.  This module represents such systems as dense
+``A x <= b`` matrices plus a bounding box, and provides the predicates the
+core layer needs: membership tests, violation counts, and conservative
+"box inside half-space" tests used by the dynamic-insert path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .mbr import MBR
+
+__all__ = [
+    "HalfspaceSystem",
+    "bisector",
+    "bisectors_from_points",
+    "box_inside_halfspace",
+    "box_intersects_halfspace",
+]
+
+
+def bisector(p: Sequence[float], q: Sequence[float]) -> "tuple[np.ndarray, float]":
+    """Half-space ``a . x <= b`` of points at least as close to ``p`` as to
+    ``q``: ``a = 2 (q - p)``, ``b = |q|^2 - |p|^2``."""
+    p_arr = np.asarray(p, dtype=np.float64)
+    q_arr = np.asarray(q, dtype=np.float64)
+    a = 2.0 * (q_arr - p_arr)
+    b = float(np.dot(q_arr, q_arr) - np.dot(p_arr, p_arr))
+    return a, b
+
+
+def bisectors_from_points(
+    center: Sequence[float],
+    others: np.ndarray,
+    weights: "np.ndarray | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised bisector constraints of ``center`` against each row of
+    ``others``.  Returns ``(A, b)`` with shapes ``(n, d)`` and ``(n,)``.
+
+    ``weights`` switches to the weighted Euclidean metric
+    ``d_W(x, y)^2 = sum_i w_i (x_i - y_i)^2`` — its bisectors are still
+    hyperplanes (``a = 2 w (q - p)``, ``b = w . (q^2 - p^2)``), so the
+    whole NN-cell machinery carries over unchanged.
+    """
+    c = np.asarray(center, dtype=np.float64)
+    o = np.asarray(others, dtype=np.float64)
+    if o.ndim != 2:
+        raise ValueError("others must be an (n, d) array")
+    if weights is None:
+        a_mat = 2.0 * (o - c)
+        b_vec = np.einsum("ij,ij->i", o, o) - float(np.dot(c, c))
+        return a_mat, b_vec
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != c.shape or np.any(w <= 0.0):
+        raise ValueError("weights must be positive, one per dimension")
+    a_mat = 2.0 * w * (o - c)
+    b_vec = (o * o) @ w - float(np.dot(w, c * c))
+    return a_mat, b_vec
+
+
+def box_inside_halfspace(
+    box: MBR, a: np.ndarray, b: float, atol: float = 1e-9
+) -> bool:
+    """True if every point of ``box`` satisfies ``a . x <= b``.
+
+    The maximum of a linear function over a box is attained at the corner
+    picking ``high`` where the coefficient is positive and ``low`` where it
+    is negative, so no LP is needed.
+    """
+    worst = float(np.dot(np.where(a > 0.0, box.high, box.low), a))
+    return worst <= b + atol
+
+
+def box_intersects_halfspace(
+    box: MBR, a: np.ndarray, b: float, atol: float = 1e-9
+) -> bool:
+    """True if some point of ``box`` satisfies ``a . x <= b``."""
+    best = float(np.dot(np.where(a > 0.0, box.low, box.high), a))
+    return best <= b + atol
+
+
+class HalfspaceSystem:
+    """A polytope ``{x : A x <= b} ∩ box`` (a bounded half-space system).
+
+    Instances hold the bisector constraints of one NN-cell.  The associated
+    ``point_ids`` record, for each row of ``A``, which database point
+    generated the bisector — the dynamic update path uses this to find cells
+    that referenced a deleted point.
+    """
+
+    __slots__ = ("a", "b", "box", "point_ids")
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        box: MBR,
+        point_ids: "np.ndarray | None" = None,
+    ):
+        a_arr = np.asarray(a, dtype=np.float64)
+        b_arr = np.asarray(b, dtype=np.float64)
+        if a_arr.ndim != 2:
+            raise ValueError("A must be an (n, d) matrix")
+        if b_arr.shape != (a_arr.shape[0],):
+            raise ValueError("b must have one entry per constraint row")
+        if box.dim != a_arr.shape[1] and a_arr.shape[0] > 0:
+            raise ValueError(
+                f"box dimension {box.dim} != constraint dimension {a_arr.shape[1]}"
+            )
+        if point_ids is None:
+            point_ids = np.full(a_arr.shape[0], -1, dtype=np.int64)
+        else:
+            point_ids = np.asarray(point_ids, dtype=np.int64)
+            if point_ids.shape != (a_arr.shape[0],):
+                raise ValueError("point_ids must have one entry per constraint")
+        self.a = a_arr
+        self.b = b_arr
+        self.box = box
+        self.point_ids = point_ids
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, box: MBR) -> "HalfspaceSystem":
+        """A system with no bisector constraints — the whole box."""
+        return cls(np.zeros((0, box.dim)), np.zeros(0), box)
+
+    @classmethod
+    def nn_cell(
+        cls,
+        center: Sequence[float],
+        others: np.ndarray,
+        box: MBR,
+        point_ids: "np.ndarray | None" = None,
+    ) -> "HalfspaceSystem":
+        """Constraint system of the NN-cell of ``center`` against
+        ``others`` inside ``box``."""
+        a_mat, b_vec = bisectors_from_points(center, others)
+        return cls(a_mat, b_vec, box, point_ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_constraints(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.box.dim
+
+    def contains(self, x: Sequence[float], atol: float = 1e-9) -> bool:
+        """Membership test: inside the box and satisfying every bisector."""
+        x_arr = np.asarray(x, dtype=np.float64)
+        if not self.box.contains_point(x_arr, atol=atol):
+            return False
+        if self.n_constraints == 0:
+            return True
+        return bool(np.all(self.a @ x_arr <= self.b + atol))
+
+    def violations(self, x: Sequence[float], atol: float = 1e-9) -> int:
+        """Number of bisector constraints violated at ``x``."""
+        if self.n_constraints == 0:
+            return 0
+        x_arr = np.asarray(x, dtype=np.float64)
+        return int(np.sum(self.a @ x_arr > self.b + atol))
+
+    def with_constraint(
+        self, a: np.ndarray, b: float, point_id: int = -1
+    ) -> "HalfspaceSystem":
+        """New system with one additional half-space appended."""
+        a_new = np.vstack([self.a, np.asarray(a, dtype=np.float64)[None, :]])
+        b_new = np.append(self.b, float(b))
+        ids_new = np.append(self.point_ids, np.int64(point_id))
+        return HalfspaceSystem(a_new, b_new, self.box, ids_new)
+
+    def without_point(self, point_id: int) -> "HalfspaceSystem":
+        """New system with every bisector generated by ``point_id`` removed."""
+        keep = self.point_ids != point_id
+        return HalfspaceSystem(
+            self.a[keep], self.b[keep], self.box, self.point_ids[keep]
+        )
+
+    def clipped_to(self, box: MBR) -> "HalfspaceSystem":
+        """Same bisectors, tighter bounding box (used by decomposition)."""
+        inner = self.box.intersection(box)
+        if inner is None:
+            raise ValueError("clip box does not intersect the system's box")
+        return HalfspaceSystem(self.a, self.b, inner, self.point_ids)
+
+    def reduced_to_box(self, box: MBR) -> "HalfspaceSystem":
+        """Clip to ``box`` and drop constraints that cannot cut it.
+
+        A constraint whose half-space already contains the whole clip box
+        is redundant inside it; dropping such rows leaves the feasible set
+        within ``box`` unchanged, so LP optima over the reduced system are
+        *exact* for the clipped cell.  This is the workhorse behind the
+        fast Correct-selector path: most of the ``N - 1`` bisectors of a
+        cell never touch its neighborhood.
+        """
+        inner = self.box.intersection(box)
+        if inner is None:
+            raise ValueError("clip box does not intersect the system's box")
+        if self.n_constraints == 0:
+            return HalfspaceSystem(self.a, self.b, inner, self.point_ids)
+        # Worst corner of the box per constraint (vectorised over rows).
+        worst = np.where(self.a > 0.0, inner.high, inner.low)
+        values = np.einsum("ij,ij->i", self.a, worst)
+        keep = values > self.b + 1e-12
+        return HalfspaceSystem(
+            self.a[keep], self.b[keep], inner, self.point_ids[keep]
+        )
+
+    def distances_to_planes(self, x: Sequence[float]) -> np.ndarray:
+        """Euclidean distance from ``x`` to each constraint hyperplane
+        (used to pick the tightest bisectors for pre-approximation)."""
+        if self.n_constraints == 0:
+            return np.zeros(0)
+        x_arr = np.asarray(x, dtype=np.float64)
+        norms = np.linalg.norm(self.a, axis=1)
+        safe = np.where(norms > 0.0, norms, 1.0)
+        return np.abs(self.b - self.a @ x_arr) / safe
+
+    def references(self, point_id: int) -> bool:
+        """True if any constraint row was generated by ``point_id``."""
+        return bool(np.any(self.point_ids == point_id))
+
+    def __repr__(self) -> str:
+        return (
+            f"HalfspaceSystem(n_constraints={self.n_constraints}, "
+            f"dim={self.dim})"
+        )

@@ -1,0 +1,319 @@
+"""Minimum bounding hyper-rectangles (MBRs).
+
+The paper approximates every NN-cell by its minimum bounding
+(hyper-)rectangle (Definition 3) and stores those rectangles in an R-tree
+family index.  This module provides the rectangle algebra every other layer
+builds on: volume, margin, union, intersection, overlap volume, containment
+and enlargement computations, both for single rectangles and for vectorised
+arrays of rectangles (as used inside index nodes).
+
+An MBR over ``d`` dimensions is represented by two ``float64`` vectors
+``low`` and ``high`` with ``low <= high`` component-wise.  Degenerate
+rectangles (zero extent in some dimension) are legal: a data *point* is the
+degenerate rectangle ``MBR(p, p)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MBR",
+    "mbr_of_points",
+    "union_all",
+    "intersect_arrays",
+    "contains_point_arrays",
+    "overlap_volume_arrays",
+    "total_pairwise_overlap",
+]
+
+
+class MBR:
+    """An axis-aligned minimum bounding hyper-rectangle.
+
+    Instances are immutable by convention: all operations return new
+    rectangles.  ``low`` and ``high`` are stored as read-only numpy arrays.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        low_arr = np.asarray(low, dtype=np.float64).copy()
+        high_arr = np.asarray(high, dtype=np.float64).copy()
+        if low_arr.ndim != 1 or high_arr.ndim != 1:
+            raise ValueError("MBR bounds must be one-dimensional vectors")
+        if low_arr.shape != high_arr.shape:
+            raise ValueError(
+                f"bound shapes differ: {low_arr.shape} vs {high_arr.shape}"
+            )
+        if low_arr.size == 0:
+            raise ValueError("MBR must have at least one dimension")
+        if np.any(low_arr > high_arr + 1e-12):
+            raise ValueError(f"low > high: low={low_arr}, high={high_arr}")
+        # Clamp tiny negative extents caused by floating point noise.
+        high_arr = np.maximum(low_arr, high_arr)
+        low_arr.setflags(write=False)
+        high_arr.setflags(write=False)
+        self.low = low_arr
+        self.high = high_arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        """Degenerate rectangle covering exactly one point."""
+        return cls(point, point)
+
+    @classmethod
+    def unit_cube(cls, dim: int) -> "MBR":
+        """The data space ``[0, 1]^d`` used throughout the paper."""
+        if dim < 1:
+            raise ValueError("dimension must be positive")
+        return cls(np.zeros(dim), np.ones(dim))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.low.shape[0]
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Per-dimension side lengths ``high - low``."""
+        return self.high - self.low
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) / 2.0
+
+    def volume(self) -> float:
+        """Product of side lengths (zero for degenerate rectangles)."""
+        return float(np.prod(self.extents))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree split criterion)."""
+        return float(np.sum(self.extents))
+
+    def is_degenerate(self, atol: float = 0.0) -> bool:
+        """True if some dimension has (near-)zero extent."""
+        return bool(np.any(self.extents <= atol))
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Sequence[float], atol: float = 0.0) -> bool:
+        """True if ``point`` lies inside (within ``atol`` per axis)."""
+        p = np.asarray(point, dtype=np.float64)
+        return bool(
+            np.all(self.low - atol <= p) and np.all(p <= self.high + atol)
+        )
+
+    def contains(self, other: "MBR", atol: float = 0.0) -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return bool(
+            np.all(self.low - atol <= other.low)
+            and np.all(other.high <= self.high + atol)
+        )
+
+    def intersects(self, other: "MBR", atol: float = 0.0) -> bool:
+        """True if the rectangles share at least a boundary point."""
+        return bool(
+            np.all(self.low <= other.high + atol)
+            and np.all(other.low <= self.high + atol)
+        )
+
+    def intersects_sphere(self, center: Sequence[float], radius: float) -> bool:
+        """True if this rectangle intersects the closed ball ``B(c, r)``."""
+        c = np.asarray(center, dtype=np.float64)
+        nearest = np.clip(c, self.low, self.high)
+        return bool(np.sum((nearest - c) ** 2) <= radius * radius + 1e-12)
+
+    # ------------------------------------------------------------------
+    # Combinations
+    # ------------------------------------------------------------------
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest rectangle covering both operands."""
+        return MBR(np.minimum(self.low, other.low),
+                   np.maximum(self.high, other.high))
+
+    def union_point(self, point: Sequence[float]) -> "MBR":
+        """Smallest rectangle covering this one and ``point``."""
+        p = np.asarray(point, dtype=np.float64)
+        return MBR(np.minimum(self.low, p), np.maximum(self.high, p))
+
+    def intersection(self, other: "MBR") -> "MBR | None":
+        """Intersection rectangle, or ``None`` when disjoint."""
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        if np.any(low > high):
+            return None
+        return MBR(low, high)
+
+    def overlap_volume(self, other: "MBR") -> float:
+        """Volume of the intersection (0.0 when disjoint)."""
+        sides = np.minimum(self.high, other.high) - np.maximum(
+            self.low, other.low
+        )
+        if np.any(sides < 0.0):
+            return 0.0
+        return float(np.prod(sides))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Volume increase needed to also cover ``other``."""
+        return self.union(other).volume() - self.volume()
+
+    def clipped_to(self, other: "MBR") -> "MBR | None":
+        """Alias of :meth:`intersection` that reads better for clipping."""
+        return self.intersection(other)
+
+    def split_at(self, dim: int, value: float) -> "tuple[MBR, MBR]":
+        """Split into (lower, upper) halves at ``value`` along ``dim``.
+
+        ``value`` is clamped into the rectangle so both halves are valid
+        (possibly degenerate) rectangles.
+        """
+        if not 0 <= dim < self.dim:
+            raise IndexError(f"dimension {dim} out of range for {self.dim}-d MBR")
+        value = float(np.clip(value, self.low[dim], self.high[dim]))
+        low_high = self.high.copy()
+        low_high[dim] = value
+        up_low = self.low.copy()
+        up_low[dim] = value
+        return MBR(self.low, low_high), MBR(up_low, self.high)
+
+    def grid_cell(self, counts: Sequence[int], index: Sequence[int]) -> "MBR":
+        """The ``index``-th cell of the regular grid with ``counts`` splits.
+
+        Used by the MBR decomposition (Definition 5): the rectangle is cut
+        into ``counts[j]`` equal slabs along each decomposed dimension ``j``
+        and the cell at multi-index ``index`` is returned.  Dimensions with
+        ``counts[j] == 1`` are left whole.
+        """
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        index_arr = np.asarray(index, dtype=np.int64)
+        if counts_arr.shape != (self.dim,) or index_arr.shape != (self.dim,):
+            raise ValueError("counts and index must have one entry per dimension")
+        if np.any(counts_arr < 1):
+            raise ValueError("partition counts must be >= 1")
+        if np.any(index_arr < 0) or np.any(index_arr >= counts_arr):
+            raise ValueError(f"grid index {index_arr} out of range for {counts_arr}")
+        step = self.extents / counts_arr
+        low = self.low + index_arr * step
+        high = self.low + (index_arr + 1) * step
+        # Make the final slab end exactly at the rectangle boundary.
+        high = np.where(index_arr + 1 == counts_arr, self.high, high)
+        return MBR(low, high)
+
+    # ------------------------------------------------------------------
+    # Conversions / dunder protocol
+    # ------------------------------------------------------------------
+    def as_array(self) -> np.ndarray:
+        """``(2, d)`` array ``[low, high]`` (copies)."""
+        return np.stack([self.low, self.high])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low.tobytes(), self.high.tobytes()))
+
+    def approx_equal(self, other: "MBR", atol: float = 1e-9) -> bool:
+        """Equality up to ``atol`` per bound (float-tolerant compare)."""
+        return bool(
+            np.allclose(self.low, other.low, atol=atol)
+            and np.allclose(self.high, other.high, atol=atol)
+        )
+
+    def __repr__(self) -> str:
+        low = np.array2string(self.low, precision=4, separator=", ")
+        high = np.array2string(self.high, precision=4, separator=", ")
+        return f"MBR(low={low}, high={high})"
+
+
+# ----------------------------------------------------------------------
+# Free functions over collections of rectangles
+# ----------------------------------------------------------------------
+
+def mbr_of_points(points: np.ndarray) -> MBR:
+    """Tightest rectangle covering all rows of ``points`` (``(n, d)``)."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    return MBR(pts.min(axis=0), pts.max(axis=0))
+
+
+def union_all(rects: Iterable[MBR]) -> MBR:
+    """Union of a non-empty iterable of rectangles."""
+    it: Iterator[MBR] = iter(rects)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("union_all() requires at least one rectangle") from None
+    low = first.low.copy()
+    high = first.high.copy()
+    for rect in it:
+        np.minimum(low, rect.low, out=low)
+        np.maximum(high, rect.high, out=high)
+    return MBR(low, high)
+
+
+def intersect_arrays(
+    lows: np.ndarray, highs: np.ndarray, rect: MBR, atol: float = 0.0
+) -> np.ndarray:
+    """Boolean mask of rows of ``(lows, highs)`` intersecting ``rect``.
+
+    ``lows``/``highs`` are ``(n, d)`` arrays — the vectorised node-entry
+    layout of the index layer.
+    """
+    return np.logical_and(
+        np.all(lows <= rect.high + atol, axis=1),
+        np.all(rect.low <= highs + atol, axis=1),
+    )
+
+
+def contains_point_arrays(
+    lows: np.ndarray, highs: np.ndarray, point: np.ndarray, atol: float = 0.0
+) -> np.ndarray:
+    """Boolean mask of rows whose rectangle contains ``point``."""
+    p = np.asarray(point, dtype=np.float64)
+    return np.logical_and(
+        np.all(lows - atol <= p, axis=1), np.all(p <= highs + atol, axis=1)
+    )
+
+
+def overlap_volume_arrays(
+    lows: np.ndarray, highs: np.ndarray, rect: MBR
+) -> np.ndarray:
+    """Vector of intersection volumes between each row and ``rect``."""
+    sides = np.minimum(highs, rect.high) - np.maximum(lows, rect.low)
+    sides = np.clip(sides, 0.0, None)
+    return np.prod(sides, axis=1)
+
+
+def total_pairwise_overlap(rects: Sequence[MBR]) -> float:
+    """Sum of pairwise intersection volumes — the R-tree overlap measure.
+
+    Quadratic in the number of rectangles; intended for node-sized or
+    experiment-sized collections, not for whole databases.
+    """
+    if len(rects) < 2:
+        return 0.0
+    lows = np.stack([r.low for r in rects])
+    highs = np.stack([r.high for r in rects])
+    total = 0.0
+    for i in range(len(rects) - 1):
+        sides = np.minimum(highs[i + 1:], highs[i]) - np.maximum(
+            lows[i + 1:], lows[i]
+        )
+        sides = np.clip(sides, 0.0, None)
+        total += float(np.sum(np.prod(sides, axis=1)))
+    return total

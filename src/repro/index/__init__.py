@@ -1,0 +1,40 @@
+"""Index substrate: R*-tree, X-tree, NN search algorithms, bulk loading."""
+
+from .bulk import DEFAULT_FILL, bulk_load
+from .guttman import GuttmanRTree
+from .hilbert import hilbert_bulk_load, hilbert_indices
+from .linear_scan import LinearScan
+from .nnsearch import NNResult, hs_k_nearest, hs_nearest, rkv_nearest
+from .node import Node, entry_bytes
+from .parallel import (
+    ParallelNNResult,
+    parallel_nearest,
+    proximity_declustering,
+    round_robin_declustering,
+)
+from .rstar import REINSERT_FRACTION, RStarTree
+from .xtree import MAX_OVERLAP, MIN_FANOUT_FRACTION, XTree
+
+__all__ = [
+    "DEFAULT_FILL",
+    "GuttmanRTree",
+    "LinearScan",
+    "MAX_OVERLAP",
+    "MIN_FANOUT_FRACTION",
+    "NNResult",
+    "Node",
+    "ParallelNNResult",
+    "REINSERT_FRACTION",
+    "RStarTree",
+    "XTree",
+    "bulk_load",
+    "entry_bytes",
+    "hilbert_bulk_load",
+    "hilbert_indices",
+    "hs_k_nearest",
+    "hs_nearest",
+    "parallel_nearest",
+    "proximity_declustering",
+    "rkv_nearest",
+    "round_robin_declustering",
+]

@@ -1,0 +1,142 @@
+"""Classic Guttman R-tree (SIGMOD 1984) — the historical baseline.
+
+The paper's baselines are the R*-tree and the X-tree; both descend from
+Guttman's original R-tree, implemented here with the canonical
+**quadratic split** (PickSeeds / PickNext) and pure area-driven
+ChooseLeaf, and *without* forced reinsertion.  Including it lets the
+benchmark suite show the full lineage: Guttman -> R* (better splits,
+reinsertion) -> X-tree (overlap-free directory) -> solution-space
+indexing, each step improving high-dimensional NN behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from .node import Node
+from .rstar import RStarTree
+
+__all__ = ["GuttmanRTree"]
+
+
+class GuttmanRTree(RStarTree):
+    """R-tree with Guttman's quadratic split and area-only descent.
+
+    Reuses the page layout, query operators and deletion machinery of the
+    R*-tree implementation; only the insertion heuristics differ.
+    """
+
+    def _choose_subtree(
+        self, node: Node, low: np.ndarray, high: np.ndarray
+    ) -> int:
+        """Guttman ChooseLeaf: least area enlargement, ties by area."""
+        lows, highs = node.lows, node.highs
+        enl_lows = np.minimum(lows, low)
+        enl_highs = np.maximum(highs, high)
+        areas = np.prod(highs - lows, axis=1)
+        enlargement = np.prod(enl_highs - enl_lows, axis=1) - areas
+        order = np.lexsort((areas, enlargement))
+        return int(order[0])
+
+    def _handle_overflow(
+        self, path: List[int], reinserted_levels: Set[int]
+    ) -> None:
+        """No forced reinsert: overflow always splits (Guttman 1984)."""
+        depth = len(path) - 1
+        while depth >= 0:
+            node_id = path[depth]
+            node = self._read(node_id)
+            if node.n_entries <= self._node_capacity(node_id, node):
+                depth -= 1
+                continue
+            self._split(path[: depth + 1], reinserted_levels)
+            return
+
+    def _split_node(self, node_id: int, node: Node) -> "Tuple[Node, Node]":
+        idx1, idx2 = _quadratic_split_indices(
+            node.lows, node.highs, self._min_for(node)
+        )
+        return node.take(idx1), node.take(idx2)
+
+
+def _quadratic_split_indices(
+    lows: np.ndarray, highs: np.ndarray, min_entries: int
+) -> "Tuple[np.ndarray, np.ndarray]":
+    """Guttman's quadratic split.
+
+    *PickSeeds*: the pair of entries whose combined rectangle wastes the
+    most area seeds the two groups.  *PickNext*: repeatedly assign the
+    entry with the largest preference (area-enlargement difference)
+    between the groups, with the usual forced assignment once a group
+    must absorb every remaining entry to reach the minimum fill.
+    """
+    n = lows.shape[0]
+    m = min(min_entries, n // 2)
+    m = max(1, m)
+
+    areas = np.prod(highs - lows, axis=1)
+    # PickSeeds: maximise dead area of the pair's bounding rectangle.
+    worst_waste = -np.inf
+    seed1 = 0
+    seed2 = 1
+    for i in range(n - 1):
+        pair_lows = np.minimum(lows[i + 1:], lows[i])
+        pair_highs = np.maximum(highs[i + 1:], highs[i])
+        waste = (
+            np.prod(pair_highs - pair_lows, axis=1)
+            - areas[i + 1:]
+            - areas[i]
+        )
+        j = int(np.argmax(waste))
+        if waste[j] > worst_waste:
+            worst_waste = float(waste[j])
+            seed1, seed2 = i, i + 1 + j
+
+    group1 = [seed1]
+    group2 = [seed2]
+    g1_low, g1_high = lows[seed1].copy(), highs[seed1].copy()
+    g2_low, g2_high = lows[seed2].copy(), highs[seed2].copy()
+    remaining = [i for i in range(n) if i not in (seed1, seed2)]
+
+    while remaining:
+        # Forced assignment when one group must take everything left.
+        if len(group1) + len(remaining) <= m:
+            group1.extend(remaining)
+            break
+        if len(group2) + len(remaining) <= m:
+            group2.extend(remaining)
+            break
+        rem = np.asarray(remaining)
+        enl1 = (
+            np.prod(
+                np.maximum(highs[rem], g1_high)
+                - np.minimum(lows[rem], g1_low),
+                axis=1,
+            )
+            - float(np.prod(g1_high - g1_low))
+        )
+        enl2 = (
+            np.prod(
+                np.maximum(highs[rem], g2_high)
+                - np.minimum(lows[rem], g2_low),
+                axis=1,
+            )
+            - float(np.prod(g2_high - g2_low))
+        )
+        pick = int(np.argmax(np.abs(enl1 - enl2)))
+        entry = remaining.pop(pick)
+        # Tie-breaks: smaller enlargement, then smaller area, then size.
+        if enl1[pick] < enl2[pick] or (
+            enl1[pick] == enl2[pick] and len(group1) <= len(group2)
+        ):
+            group1.append(entry)
+            np.minimum(g1_low, lows[entry], out=g1_low)
+            np.maximum(g1_high, highs[entry], out=g1_high)
+        else:
+            group2.append(entry)
+            np.minimum(g2_low, lows[entry], out=g2_low)
+            np.maximum(g2_high, highs[entry], out=g2_high)
+
+    return np.asarray(group1), np.asarray(group2)

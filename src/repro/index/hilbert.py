@@ -1,0 +1,144 @@
+"""Hilbert-curve bulk loading (packed R-tree variant).
+
+An alternative to the STR packing in :mod:`repro.index.bulk`: entries are
+sorted along the Hilbert space-filling curve of their centres (Kamel &
+Faloutsos' Hilbert-packed R-tree) and cut into consecutive runs.  Hilbert
+ordering preserves locality better than per-dimension tiling on clustered
+data, which shows up as slightly tighter leaf regions; the decomposition
+ablation bench compares both packings.
+
+The Hilbert index is computed with the classic Butz/Lawder bit
+transposition algorithm, implemented here for arbitrary dimensionality
+and precision (no lookup tables).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .bulk import DEFAULT_FILL, _balanced_chunks
+from .node import Node
+from .rstar import RStarTree
+
+__all__ = ["hilbert_indices", "hilbert_bulk_load"]
+
+
+def hilbert_indices(points: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Hilbert-curve index of each row of ``points`` (unit-cube data).
+
+    ``bits`` is the per-dimension precision; the result fits in signed
+    64-bit integers as long as ``bits * dim <= 62``.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n, dim = pts.shape
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if bits * dim > 62:
+        raise ValueError(
+            f"bits * dim = {bits * dim} exceeds the 64-bit key budget"
+        )
+    grid = np.clip((pts * (1 << bits)).astype(np.int64), 0, (1 << bits) - 1)
+    keys = np.empty(n, dtype=np.int64)
+    for row in range(n):
+        keys[row] = _hilbert_key(grid[row].tolist(), bits)
+    return keys
+
+
+def _hilbert_key(coords: "List[int]", bits: int) -> int:
+    """Point -> Hilbert index (Skilling's transposition algorithm)."""
+    dim = len(coords)
+    x = list(coords)
+    # Inverse undo of the Gray-code transform (Skilling 2004).
+    m = 1 << (bits - 1)
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dim):
+            if x[i] & q:
+                x[0] ^= p  # invert low bits of x[0]
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, dim):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[dim - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dim):
+        x[i] ^= t
+    # Interleave the transposed bits into a single key.
+    key = 0
+    for bit in range(bits - 1, -1, -1):
+        for i in range(dim):
+            key = (key << 1) | ((x[i] >> bit) & 1)
+    return key
+
+
+def hilbert_bulk_load(
+    tree: RStarTree,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    ids: Sequence[int],
+    fill: float = DEFAULT_FILL,
+    bits: int = 10,
+) -> RStarTree:
+    """Fill an empty tree with entries packed in Hilbert order."""
+    lows = np.atleast_2d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_2d(np.asarray(highs, dtype=np.float64))
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    if tree.n_entries != 0:
+        raise ValueError("hilbert_bulk_load requires an empty tree")
+    if lows.shape != highs.shape or lows.shape[0] != ids_arr.shape[0]:
+        raise ValueError("lows, highs and ids must agree in length")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must be within (0, 1]")
+    n = lows.shape[0]
+    if n == 0:
+        return tree
+    bits = min(bits, max(1, 62 // lows.shape[1]))
+
+    centers = (lows + highs) / 2.0
+    order = np.argsort(hilbert_indices(centers, bits=bits), kind="stable")
+
+    leaf_capacity = max(2, int(fill * tree.leaf_max_entries))
+    leaf_capacity = max(leaf_capacity, tree.leaf_min_entries)
+    groups = _balanced_chunks(order, leaf_capacity, tree.leaf_min_entries)
+    level_nodes = [Node(True, 0, lows[g], highs[g], ids_arr[g]) for g in groups]
+    level_ids = [
+        tree.pages.allocate(node, n_blocks=tree._blocks_for(node))
+        for node in level_nodes
+    ]
+
+    capacity = max(2, int(fill * tree.max_entries))
+    capacity = max(capacity, tree.min_entries)
+    level = 0
+    while len(level_nodes) > 1:
+        level += 1
+        mbr_lows = np.stack([node.mbr().low for node in level_nodes])
+        mbr_highs = np.stack([node.mbr().high for node in level_nodes])
+        child_ids = np.asarray(level_ids, dtype=np.int64)
+        # Children are already in curve order: consecutive runs suffice.
+        order = np.arange(len(level_nodes))
+        groups = _balanced_chunks(order, capacity, tree.min_entries)
+        level_nodes = [
+            Node(False, level, mbr_lows[g], mbr_highs[g], child_ids[g])
+            for g in groups
+        ]
+        level_ids = [
+            tree.pages.allocate(node, n_blocks=tree._blocks_for(node))
+            for node in level_nodes
+        ]
+
+    tree.pages.free(tree.root_id)
+    tree.root_id = level_ids[0]
+    tree.height = level + 1
+    tree.n_entries = n
+    return tree

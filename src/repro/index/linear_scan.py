@@ -1,0 +1,85 @@
+"""Sequential-scan baseline.
+
+The theoretical results the paper builds on ([BBKK 97]) show that in high
+dimensions index-based NN search degenerates toward reading most of the
+database — i.e. toward this baseline.  The scan stores points densely in
+pages of the same size as the index blocks, so its page-access counts are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geometry.distance import distances_to_points
+from ..storage.page import DEFAULT_PAGE_SIZE, PageManager
+from .nnsearch import NNResult
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan:
+    """A paged flat file of points with full-scan query operators."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        page_manager: "PageManager | None" = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 0,
+    ):
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self.dim = pts.shape[1]
+        self.pages = page_manager or PageManager(page_size, cache_pages)
+        per_page = self.pages.entries_per_page(8 * self.dim + 8)
+        self._page_ids: List[int] = []
+        self._offsets: List[int] = []  # first global row id of each page
+        for start in range(0, pts.shape[0], per_page):
+            chunk = pts[start:start + per_page].copy()
+            self._page_ids.append(self.pages.allocate(chunk))
+            self._offsets.append(start)
+        self.n_points = pts.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def nearest(self, query: Sequence[float]) -> NNResult:
+        """Exact nearest neighbor by scanning every page."""
+        return self.k_nearest(query, k=1)
+
+    def k_nearest(self, query: Sequence[float], k: int) -> NNResult:
+        """Exact k-nearest neighbors by scanning every page."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = np.asarray(query, dtype=np.float64)
+        result = NNResult()
+        best_ids: "List[int]" = []
+        best_sq: "List[float]" = []
+        for page_id, offset in zip(self._page_ids, self._offsets):
+            before = self.pages.stats.logical_reads
+            chunk = self.pages.read(page_id)
+            result.pages += self.pages.stats.logical_reads - before
+            dist_sq = distances_to_points(q, chunk)
+            result.distance_computations += chunk.shape[0]
+            for local_idx in np.argsort(dist_sq)[:k]:
+                best_ids.append(offset + int(local_idx))
+                best_sq.append(float(dist_sq[local_idx]))
+        order = np.argsort(best_sq)[:k]
+        result.ids = [best_ids[i] for i in order]
+        result.distances = [float(np.sqrt(best_sq[i])) for i in order]
+        return result
+
+    def within_radius(self, center: Sequence[float], radius: float) -> np.ndarray:
+        """Ids of all points within Euclidean distance ``radius``."""
+        c = np.asarray(center, dtype=np.float64)
+        r_sq = radius * radius + 1e-12
+        hits: "List[int]" = []
+        for page_id, offset in zip(self._page_ids, self._offsets):
+            chunk = self.pages.read(page_id)
+            dist_sq = distances_to_points(c, chunk)
+            hits.extend(offset + int(i) for i in np.flatnonzero(dist_sq <= r_sq))
+        return np.asarray(hits, dtype=np.int64)

@@ -1,0 +1,220 @@
+"""Simulated parallel similarity search ([Ber+ 97]).
+
+The paper positions itself against its authors' own earlier alternative:
+"One way out of this dilemma is exploiting parallelism for an efficient
+nearest neighbor search as we did in [Ber+ 97]" (Berchtold, Böhm,
+Braunmüller, Keim & Kriegel, *Fast Parallel Similarity Search in
+Multimedia Databases*, SIGMOD 1997).  That work declusters the data
+pages over ``k`` disks so a NN query fetches many pages concurrently; the
+cost metric becomes the number of *parallel I/O rounds* (the maximum
+pages any one disk serves) instead of total pages.
+
+This module reproduces the comparison baseline on our simulated storage:
+
+* :func:`round_robin_declustering` and :func:`proximity_declustering` —
+  assign leaf pages to disks (naive vs. the similarity-aware strategy of
+  the SIGMOD paper: pages whose regions are close should land on
+  *different* disks so a query's hot region is spread evenly);
+* :func:`parallel_nearest` — an HS-style best-first NN search that
+  fetches, per round, the best frontier page of *every* disk, reporting
+  rounds, total pages and the speed-up over serial fetching.
+
+The point of including it here: the NN-cell paper's claim is that
+precomputation beats even parallel hardware at the *algorithmic* level —
+one point query instead of many rounds of expanding search.  The bench
+``bench_parallel_baseline.py`` puts the three side by side.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..geometry.distance import mindist_sq_arrays
+from .rstar import RStarTree
+
+__all__ = [
+    "ParallelNNResult",
+    "round_robin_declustering",
+    "proximity_declustering",
+    "parallel_nearest",
+]
+
+
+@dataclass
+class ParallelNNResult:
+    """Outcome of a declustered parallel NN search."""
+
+    ids: "List[int]" = field(default_factory=list)
+    distances: "List[float]" = field(default_factory=list)
+    rounds: int = 0  # parallel I/O rounds (max fetches on one disk)
+    pages: int = 0  # total pages fetched across all disks
+    distance_computations: int = 0
+
+    @property
+    def nearest_id(self) -> int:
+        if not self.ids:
+            raise ValueError("query produced no result (empty index?)")
+        return self.ids[0]
+
+    @property
+    def nearest_distance(self) -> float:
+        if not self.distances:
+            raise ValueError("query produced no result (empty index?)")
+        return self.distances[0]
+
+    def speedup_over_serial(self) -> float:
+        """Ideal parallel speed-up: serial fetches / parallel rounds."""
+        if self.rounds == 0:
+            return 1.0
+        return self.pages / self.rounds
+
+
+def _leaf_pages(tree: RStarTree) -> "List[int]":
+    return [
+        page_id for page_id, node in tree.iter_nodes() if node.is_leaf
+    ]
+
+
+def round_robin_declustering(
+    tree: RStarTree, n_disks: int
+) -> "Dict[int, int]":
+    """Assign leaf pages to disks in page-id order (the naive baseline)."""
+    if n_disks < 1:
+        raise ValueError("n_disks must be >= 1")
+    return {
+        page_id: i % n_disks
+        for i, page_id in enumerate(sorted(_leaf_pages(tree)))
+    }
+
+
+def proximity_declustering(
+    tree: RStarTree, n_disks: int
+) -> "Dict[int, int]":
+    """Similarity-aware declustering ([Ber+ 97] strategy, greedy form).
+
+    Pages are processed in Z-order of their region centres; each page is
+    placed on the disk least used among its ``n_disks - 1`` predecessors,
+    so neighboring regions — the ones a NN query co-fetches — end up on
+    different disks.
+    """
+    if n_disks < 1:
+        raise ValueError("n_disks must be >= 1")
+    pages = _leaf_pages(tree)
+    if not pages:
+        return {}
+    centers = []
+    for page_id in pages:
+        node = tree._read(page_id)
+        centers.append(node.mbr().center)
+    order = np.argsort(_z_order_keys(np.stack(centers)))
+    assignment: "Dict[int, int]" = {}
+    recent: "List[int]" = []  # disks of the last n_disks - 1 pages
+    for pos in order:
+        page_id = pages[int(pos)]
+        banned = set(recent[-(n_disks - 1):]) if n_disks > 1 else set()
+        candidates = [d for d in range(n_disks) if d not in banned]
+        if not candidates:
+            candidates = list(range(n_disks))
+        loads = {d: sum(1 for v in assignment.values() if v == d)
+                 for d in candidates}
+        disk = min(candidates, key=lambda d: loads[d])
+        assignment[page_id] = disk
+        recent.append(disk)
+    return assignment
+
+
+def _z_order_keys(centers: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Morton (Z-order) keys of points in the unit cube."""
+    n, dim = centers.shape
+    grid = np.clip((centers * (1 << bits)).astype(np.int64), 0,
+                   (1 << bits) - 1)
+    keys = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        for axis in range(dim):
+            keys |= ((grid[:, axis] >> bit) & 1) << (bit * dim + axis)
+    return keys
+
+
+def parallel_nearest(
+    tree: RStarTree,
+    query: Sequence[float],
+    assignment: "Dict[int, int]",
+    n_disks: int,
+) -> ParallelNNResult:
+    """Best-first NN search fetching one page per disk per round.
+
+    Directory pages are assumed cached (the [Ber+ 97] setting: the
+    directory fits in memory; the disks serve data pages).  Each round
+    pops, for every disk, its most promising frontier leaf (smallest
+    MINDIST) — all fetched concurrently — and the search stops once the
+    best unfetched frontier entry cannot beat the current best point.
+    """
+    if n_disks < 1:
+        raise ValueError("n_disks must be >= 1")
+    q = np.asarray(query, dtype=np.float64)
+    result = ParallelNNResult()
+
+    # Collect the leaf frontier from the (in-memory) directory.
+    frontier: "List[tuple[float, int, int]]" = []  # (mindist, counter, page)
+    counter = 0
+    stack = [tree.root_id]
+    root = tree._read(tree.root_id)
+    if root.is_leaf:
+        frontier.append((0.0, counter, tree.root_id))
+    else:
+        while stack:
+            node = tree._read(stack.pop())
+            if node.n_entries == 0:
+                continue
+            dists = mindist_sq_arrays(q, node.lows, node.highs)
+            for i in range(node.n_entries):
+                child_id = int(node.ids[i])
+                if node.level == 1:  # children are leaves
+                    counter += 1
+                    frontier.append((float(dists[i]), counter, child_id))
+                else:
+                    stack.append(child_id)
+    heapq.heapify(frontier)
+
+    best_sq = np.inf
+    best_id = -1
+    while frontier and frontier[0][0] <= best_sq + 1e-12:
+        # One round: the best frontier page of each disk, concurrently.
+        fetched: "List[int]" = []
+        skipped: "List[tuple[float, int, int]]" = []
+        busy: "set[int]" = set()
+        while frontier and len(busy) < n_disks:
+            mindist, cnt, page_id = heapq.heappop(frontier)
+            if mindist > best_sq + 1e-12:
+                break
+            disk = assignment.get(page_id, 0)
+            if disk in busy:
+                skipped.append((mindist, cnt, page_id))
+                continue
+            busy.add(disk)
+            fetched.append(page_id)
+        for item in skipped:
+            heapq.heappush(frontier, item)
+        if not fetched:
+            break
+        result.rounds += 1
+        for page_id in fetched:
+            node = tree._read(page_id)
+            result.pages += 1
+            if node.n_entries == 0:
+                continue
+            dist_sq = mindist_sq_arrays(q, node.lows, node.highs)
+            result.distance_computations += node.n_entries
+            idx = int(np.argmin(dist_sq))
+            if dist_sq[idx] <= best_sq:
+                best_sq = float(dist_sq[idx])
+                best_id = int(node.ids[idx])
+
+    if best_id >= 0:
+        result.ids = [best_id]
+        result.distances = [float(np.sqrt(best_sq))]
+    return result

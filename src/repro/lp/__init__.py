@@ -1,0 +1,23 @@
+"""Linear programming substrate (from-scratch simplex + scipy backend)."""
+
+from .interface import (
+    BACKENDS,
+    LPResult,
+    get_default_backend,
+    maximize,
+    minimize,
+    set_default_backend,
+)
+from .simplex import SimplexError, SimplexResult, simplex_maximize
+
+__all__ = [
+    "BACKENDS",
+    "LPResult",
+    "SimplexError",
+    "SimplexResult",
+    "get_default_backend",
+    "maximize",
+    "minimize",
+    "set_default_backend",
+    "simplex_maximize",
+]

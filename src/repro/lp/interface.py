@@ -1,0 +1,140 @@
+"""Backend-neutral LP front-end.
+
+Two interchangeable exact solvers are offered:
+
+* ``"simplex"`` — the from-scratch tableau simplex in
+  :mod:`repro.lp.simplex` (mirrors the paper's Dantzig / Best–Ritter
+  substrate; fastest on the tiny constraint sets produced by the optimised
+  selectors);
+* ``"scipy"`` — ``scipy.optimize.linprog`` with the HiGHS solver (fastest
+  on large *Correct*-selector systems).
+
+``"auto"`` picks by problem size.  The default backend is process-global
+and can be overridden per call or via :func:`set_default_backend` — the
+benchmark harness uses that to compare backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .simplex import SimplexResult, simplex_maximize
+
+__all__ = [
+    "LPResult",
+    "maximize",
+    "minimize",
+    "set_default_backend",
+    "get_default_backend",
+    "BACKENDS",
+]
+
+BACKENDS = ("auto", "simplex", "scipy")
+
+# Above this many constraint rows, HiGHS beats the pure-Python tableau.
+_AUTO_SCIPY_THRESHOLD = 60
+
+_default_backend = "auto"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Solver-independent LP outcome."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded"
+    x: Optional[np.ndarray]
+    objective: float
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide default LP backend."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    global _default_backend
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    """The process-wide default LP backend."""
+    return _default_backend
+
+
+def maximize(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    backend: "str | None" = None,
+) -> LPResult:
+    """Maximize ``c . x`` s.t. ``a_ub x <= b_ub``, ``lb <= x <= ub``."""
+    chosen = backend or _default_backend
+    if chosen not in BACKENDS:
+        raise ValueError(f"unknown backend {chosen!r}; expected one of {BACKENDS}")
+    if chosen == "auto":
+        chosen = (
+            "scipy"
+            if np.asarray(a_ub).shape[0] >= _AUTO_SCIPY_THRESHOLD
+            else "simplex"
+        )
+    if chosen == "simplex":
+        return _from_simplex(simplex_maximize(c, a_ub, b_ub, lb, ub))
+    return _scipy_maximize(c, a_ub, b_ub, lb, ub)
+
+
+def minimize(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    backend: "str | None" = None,
+) -> LPResult:
+    """Minimize ``c . x`` under the same constraint shape as :func:`maximize`."""
+    result = maximize(-np.asarray(c, dtype=np.float64), a_ub, b_ub, lb, ub,
+                      backend=backend)
+    if not result.is_optimal:
+        return result
+    return LPResult("optimal", result.x, -result.objective)
+
+
+def _from_simplex(res: SimplexResult) -> LPResult:
+    return LPResult(res.status, res.x, res.objective)
+
+
+def _scipy_maximize(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> LPResult:
+    from scipy.optimize import linprog
+
+    c = np.asarray(c, dtype=np.float64)
+    a_ub = np.asarray(a_ub, dtype=np.float64)
+    b_ub = np.asarray(b_ub, dtype=np.float64)
+    bounds = list(zip(np.asarray(lb, dtype=np.float64),
+                      np.asarray(ub, dtype=np.float64)))
+    res = linprog(
+        -c,
+        A_ub=a_ub if a_ub.shape[0] else None,
+        b_ub=b_ub if a_ub.shape[0] else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status == 0:
+        x = np.clip(res.x, [b[0] for b in bounds], [b[1] for b in bounds])
+        return LPResult("optimal", x, float(np.dot(c, x)))
+    if res.status == 2:
+        return LPResult("infeasible", None, float("nan"))
+    if res.status == 3:
+        return LPResult("unbounded", None, float("nan"))
+    raise RuntimeError(f"scipy linprog failed: {res.message}")  # pragma: no cover

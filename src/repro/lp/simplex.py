@@ -1,0 +1,262 @@
+"""Dense two-phase tableau simplex, written from scratch.
+
+The paper computes each NN-cell approximation by ``2d`` linear programs
+("determining the approximation of a Voronoi cell can be seen as a typical
+linear programming problem", Section 2) and cites Dantzig's simplex method
+and the Best & Ritter active-set variant.  We reproduce that substrate with
+a classic dense tableau simplex:
+
+* problem form: maximize ``c . x`` subject to ``A x <= b`` and box bounds
+  ``lb <= x <= ub`` (exactly the shape of an MBR-extent LP over bisector
+  constraints clipped to the data space);
+* the box is translated so variables are non-negative and the upper bounds
+  become ordinary rows, giving the standard form ``max c.y, A' y <= b',
+  y >= 0``;
+* phase 1 introduces artificial variables only for rows with a negative
+  right-hand side and drives their sum to zero (detecting infeasibility —
+  needed by the decomposition step, where a sub-box may miss the cell);
+* Bland's anti-cycling rule guarantees termination; a Dantzig-rule fast
+  path is used for the first iterations because it is almost always faster
+  on non-degenerate inputs.
+
+The solver is exact in the floating-point sense and deliberately simple —
+problems in this system have tens of rows and at most a few dozen columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SimplexResult", "simplex_maximize", "SimplexError"]
+
+_EPS = 1e-9
+_MAX_ITERATIONS = 10_000
+_BLAND_AFTER = 200  # switch from Dantzig to Bland after this many pivots
+
+
+class SimplexError(RuntimeError):
+    """Raised when the solver exceeds its iteration budget (should not
+    happen with Bland's rule; kept as a hard backstop)."""
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Outcome of one LP solve.
+
+    ``status`` is one of ``"optimal"``, ``"infeasible"`` or ``"unbounded"``;
+    ``x`` and ``objective`` are only meaningful for ``"optimal"``.
+    """
+
+    status: str
+    x: Optional[np.ndarray]
+    objective: float
+    iterations: int
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+
+def simplex_maximize(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> SimplexResult:
+    """Maximize ``c . x`` subject to ``a_ub x <= b_ub`` and ``lb <= x <= ub``.
+
+    All arguments are dense numpy arrays; ``a_ub`` may have zero rows.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    a_ub = np.asarray(a_ub, dtype=np.float64)
+    b_ub = np.asarray(b_ub, dtype=np.float64)
+    lb = np.asarray(lb, dtype=np.float64)
+    ub = np.asarray(ub, dtype=np.float64)
+    n = c.shape[0]
+    if a_ub.ndim != 2 or a_ub.shape[1] != n and a_ub.shape[0] > 0:
+        raise ValueError("a_ub must be an (m, n) matrix")
+    if np.any(lb > ub + _EPS):
+        return SimplexResult("infeasible", None, float("nan"), 0)
+
+    # Translate x = lb + y so y >= 0, and fold upper bounds into rows.
+    span = ub - lb
+    b_shift = b_ub - a_ub @ lb if a_ub.shape[0] else b_ub.copy()
+
+    # Drop all-zero rows (degenerate bisectors from duplicate points):
+    # 0 <= b is vacuous when b >= 0 and infeasible otherwise.
+    if a_ub.shape[0]:
+        zero_rows = np.all(np.abs(a_ub) <= _EPS, axis=1)
+        if np.any(zero_rows & (b_shift < -_EPS)):
+            return SimplexResult("infeasible", None, float("nan"), 0)
+        keep = ~zero_rows
+        a_ub = a_ub[keep]
+        b_shift = b_shift[keep]
+
+    a_rows = [a_ub] if a_ub.shape[0] else []
+    b_rows = [b_shift] if b_shift.shape[0] else []
+    # Upper bound rows y_i <= span_i (skip infinite spans).
+    finite = np.isfinite(span)
+    if np.any(finite):
+        eye = np.eye(n)[finite]
+        a_rows.append(eye)
+        b_rows.append(span[finite])
+    a_full = np.vstack(a_rows) if a_rows else np.zeros((0, n))
+    b_full = np.concatenate(b_rows) if b_rows else np.zeros(0)
+
+    y, status, iterations = _solve_standard_form(c, a_full, b_full)
+    if status != "optimal":
+        return SimplexResult(status, None, float("nan"), iterations)
+    x = lb + y
+    # Clamp roundoff so downstream geometry sees in-box coordinates.
+    np.clip(x, lb, ub, out=x)
+    return SimplexResult("optimal", x, float(np.dot(c, x)), iterations)
+
+
+def _solve_standard_form(
+    c: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> "tuple[Optional[np.ndarray], str, int]":
+    """Solve ``max c.y  s.t.  A y <= b, y >= 0`` with a two-phase tableau."""
+    m, n = a.shape
+    if m == 0:
+        # Only non-negativity: unbounded unless c <= 0, optimum at origin.
+        if np.any(c > _EPS):
+            return None, "unbounded", 0
+        return np.zeros(n), "optimal", 0
+
+    neg = b < -_EPS
+    n_art = int(np.sum(neg))
+    n_cols = n + m + n_art  # structural + slack + artificial
+
+    tableau = np.zeros((m + 1, n_cols + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n:n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    # Normalise negative rows so the RHS is non-negative, then give each an
+    # artificial basis variable.
+    art_col = n + m
+    basis = np.arange(n, n + m)
+    for i in np.flatnonzero(neg):
+        tableau[i, :] *= -1.0
+        tableau[i, art_col] = 1.0
+        basis[i] = art_col
+        art_col += 1
+
+    total_iterations = 0
+    if n_art:
+        # Phase 1: minimise the sum of artificials == maximise -(sum),
+        # written as the z-row ``w + sum(artificials) = 0``.
+        obj = np.zeros(n_cols + 1)
+        obj[n + m:n_cols] = 1.0
+        tableau[m, :] = obj
+        # Price out the artificial basis columns.
+        for i in np.flatnonzero(neg):
+            tableau[m, :] -= tableau[i, :]
+        status, it = _run_simplex(tableau, basis, phase_one_cols=n_cols)
+        total_iterations += it
+        if status != "optimal":  # pragma: no cover - phase 1 never unbounded
+            return None, status, total_iterations
+        if tableau[m, -1] < -1e-7:
+            return None, "infeasible", total_iterations
+        _drive_out_artificials(tableau, basis, n + m, n_cols)
+        # Discard artificial columns for phase 2.
+        tableau = np.hstack([tableau[:, :n + m], tableau[:, -1:]])
+        n_cols = n + m
+
+    # Phase 2 objective row: reduced costs of maximising c.
+    tableau[m, :] = 0.0
+    tableau[m, :n] = -c
+    for i, bi in enumerate(basis):
+        if bi < n and abs(tableau[m, bi]) > 0.0:
+            tableau[m, :] -= tableau[m, bi] * tableau[i, :]
+    status, it = _run_simplex(tableau, basis, phase_one_cols=None)
+    total_iterations += it
+    if status != "optimal":
+        return None, status, total_iterations
+
+    y = np.zeros(n)
+    for i, bi in enumerate(basis):
+        if bi < n:
+            y[bi] = tableau[i, -1]
+    np.clip(y, 0.0, None, out=y)
+    return y, "optimal", total_iterations
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    phase_one_cols: "Optional[int]",
+) -> "tuple[str, int]":
+    """Pivot ``tableau`` to optimality.  Mutates ``tableau`` and ``basis``.
+
+    The objective row is the last row, stored in "reduced cost" form: the
+    current solution is optimal when every entry (except the RHS) is
+    >= 0 for a maximisation written as ``z - c.x = 0``.
+    """
+    m = tableau.shape[0] - 1
+    n_cols = tableau.shape[1] - 1
+    obj = tableau[m]
+    for iteration in range(_MAX_ITERATIONS):
+        costs = obj[:n_cols]
+        if iteration < _BLAND_AFTER:
+            enter = int(np.argmin(costs))
+            if costs[enter] >= -_EPS:
+                return "optimal", iteration
+        else:
+            negatives = np.flatnonzero(costs < -_EPS)
+            if negatives.size == 0:
+                return "optimal", iteration
+            enter = int(negatives[0])  # Bland: smallest index
+
+        col = tableau[:m, enter]
+        positive = col > _EPS
+        if not np.any(positive):
+            return "unbounded", iteration
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[:m, -1][positive] / col[positive]
+        min_ratio = np.min(ratios)
+        # Bland tie-break on the leaving row: lowest basis index.
+        tied = np.flatnonzero(ratios <= min_ratio + _EPS)
+        leave = int(tied[np.argmin(basis[tied])])
+
+        _pivot(tableau, leave, enter)
+        basis[leave] = enter
+    raise SimplexError(
+        f"simplex exceeded {_MAX_ITERATIONS} iterations"
+    )  # pragma: no cover
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gaussian pivot on (row, col)."""
+    pivot_val = tableau[row, col]
+    tableau[row, :] /= pivot_val
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row, :])
+    # Re-assert exactness of the pivot column.
+    tableau[:, col] = 0.0
+    tableau[row, col] = 1.0
+
+
+def _drive_out_artificials(
+    tableau: np.ndarray, basis: np.ndarray, first_art: int, n_cols: int
+) -> None:
+    """Pivot any artificial variable still basic (at value 0) out of the
+    basis so phase 2 can drop the artificial columns."""
+    m = tableau.shape[0] - 1
+    for i in range(m):
+        if basis[i] < first_art:
+            continue
+        # Find a structural or slack column with a non-zero entry.
+        row = tableau[i, :first_art]
+        candidates = np.flatnonzero(np.abs(row) > _EPS)
+        if candidates.size == 0:
+            # Redundant row: zero it so it cannot interfere later.
+            tableau[i, :] = 0.0
+            basis[i] = first_art  # harmless marker; row is inert
+            continue
+        _pivot(tableau, i, int(candidates[0]))
+        basis[i] = int(candidates[0])

@@ -1,0 +1,6 @@
+"""Storage substrate: paged storage with page-access accounting."""
+
+from .cache import LRUCache
+from .page import DEFAULT_PAGE_SIZE, AccessStats, PageManager
+
+__all__ = ["AccessStats", "DEFAULT_PAGE_SIZE", "LRUCache", "PageManager"]

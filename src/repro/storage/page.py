@@ -1,0 +1,188 @@
+"""Paged storage simulation.
+
+The paper's evaluation is driven by *page accesses*: every index node lives
+on a disk block (4 KBytes in the paper's experiments) and the reported
+curves compare the number of blocks read plus CPU time.  This module
+simulates that storage layer:
+
+* :class:`PageManager` hands out fixed-size pages, tracks logical reads and
+  writes, and routes reads through an optional LRU buffer
+  (:mod:`repro.storage.cache`) so cache hits can be separated from physical
+  accesses — the paper grants each index "the same amount of cache";
+* :class:`AccessStats` is the counter bundle the evaluation harness
+  snapshots around each query.
+
+Pages store opaque Python payloads; *capacity* questions (how many entries
+fit in a node) are answered by :meth:`PageManager.entries_per_page` from
+the byte sizes of an entry, matching how block-based trees size their
+fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .cache import LRUCache
+
+__all__ = ["AccessStats", "PageManager", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096  # bytes; the paper uses 4 KByte blocks
+
+
+@dataclass
+class AccessStats:
+    """Counters of logical and physical page traffic."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    logical_writes: int = 0
+    physical_writes: int = 0
+
+    def snapshot(self) -> "AccessStats":
+        """Copy of the current counter values."""
+        return AccessStats(
+            self.logical_reads,
+            self.physical_reads,
+            self.logical_writes,
+            self.physical_writes,
+        )
+
+    def delta_since(self, earlier: "AccessStats") -> "AccessStats":
+        """Counter increments since an earlier snapshot."""
+        return AccessStats(
+            self.logical_reads - earlier.logical_reads,
+            self.physical_reads - earlier.physical_reads,
+            self.logical_writes - earlier.logical_writes,
+            self.physical_writes - earlier.physical_writes,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.logical_writes = 0
+        self.physical_writes = 0
+
+
+@dataclass
+class _Page:
+    page_id: int
+    payload: Any = None
+    n_blocks: int = 1  # X-tree supernodes span several blocks
+
+
+class PageManager:
+    """Fixed-page-size storage with access accounting and an LRU buffer.
+
+    ``cache_pages`` is the buffer-pool capacity in pages; zero disables
+    caching so every logical read is also a physical read.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 0,
+    ):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if cache_pages < 0:
+            raise ValueError("cache_pages must be >= 0")
+        self.page_size = page_size
+        self.stats = AccessStats()
+        self._pages: Dict[int, _Page] = {}
+        self._next_id = 0
+        self._cache: Optional[LRUCache] = (
+            LRUCache(cache_pages) if cache_pages else None
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def entries_per_page(self, entry_bytes: int, header_bytes: int = 32) -> int:
+        """How many fixed-size entries fit in one page (at least 2, so tree
+        nodes always admit a legal split)."""
+        if entry_bytes <= 0:
+            raise ValueError("entry_bytes must be positive")
+        usable = self.page_size - header_bytes
+        return max(2, usable // entry_bytes)
+
+    # ------------------------------------------------------------------
+    # Page lifecycle
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any = None, n_blocks: int = 1) -> int:
+        """Create a page (``n_blocks`` > 1 models a supernode) and return
+        its id.  Allocation counts as a write of ``n_blocks`` blocks."""
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        page_id = self._next_id
+        self._next_id += 1
+        self._pages[page_id] = _Page(page_id, payload, n_blocks)
+        self._count_write(n_blocks)
+        if self._cache is not None:
+            self._cache.put(page_id, True, n_blocks)
+        return page_id
+
+    def read(self, page_id: int) -> Any:
+        """Fetch a page payload, counting the access."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise KeyError(f"page {page_id} does not exist")
+        self.stats.logical_reads += page.n_blocks
+        if self._cache is None:
+            self.stats.physical_reads += page.n_blocks
+        elif not self._cache.touch(page_id):
+            self.stats.physical_reads += page.n_blocks
+            self._cache.put(page_id, True, page.n_blocks)
+        return page.payload
+
+    def write(self, page_id: int, payload: Any, n_blocks: "int | None" = None) -> None:
+        """Overwrite a page payload, counting the access.  Passing
+        ``n_blocks`` resizes the page (supernode growth/shrink)."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise KeyError(f"page {page_id} does not exist")
+        if n_blocks is not None:
+            if n_blocks < 1:
+                raise ValueError("n_blocks must be >= 1")
+            page.n_blocks = n_blocks
+        page.payload = payload
+        self._count_write(page.n_blocks)
+        if self._cache is not None:
+            self._cache.put(page_id, True, page.n_blocks)
+
+    def free(self, page_id: int) -> None:
+        """Release a page (and its buffer-pool slot)."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} does not exist")
+        del self._pages[page_id]
+        if self._cache is not None:
+            self._cache.evict(page_id)
+
+    def n_blocks_of(self, page_id: int) -> int:
+        """Disk blocks occupied by ``page_id``."""
+        return self._pages[page_id].n_blocks
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    def total_blocks(self) -> int:
+        """Total blocks allocated — the on-disk footprint of the index."""
+        return sum(p.n_blocks for p in self._pages.values())
+
+    def reset_stats(self) -> None:
+        """Zero the access counters."""
+        self.stats.reset()
+
+    def drop_cache(self) -> None:
+        """Empty the buffer pool (cold-start measurements)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _count_write(self, n_blocks: int) -> None:
+        self.stats.logical_writes += n_blocks
+        self.stats.physical_writes += n_blocks

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Make tests/helpers.py importable from nested test directories.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.data import uniform_points  # noqa: E402
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def points_2d():
+    return uniform_points(40, 2, seed=1)
+
+
+@pytest.fixture
+def points_4d():
+    return uniform_points(60, 4, seed=2)
+
+
+@pytest.fixture
+def points_8d():
+    return uniform_points(80, 8, seed=3)

@@ -1,0 +1,72 @@
+"""Unit tests for NN-cell constraint system assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import cell_system, cell_system_for_point
+from repro.geometry.mbr import MBR
+
+
+class TestCellSystem:
+    def test_semantics_match_nn_definition(self, rng, points_4d):
+        """x is in cell(P) iff no opponent is strictly closer."""
+        system = cell_system(points_4d, 0, np.arange(len(points_4d)))
+        for __ in range(200):
+            x = rng.uniform(size=4)
+            dists = np.linalg.norm(points_4d - x, axis=1)
+            expected = dists[0] <= np.min(dists) + 1e-12
+            assert system.contains(x) == expected
+
+    def test_center_excluded_from_candidates(self, points_4d):
+        system = cell_system(points_4d, 5, [5, 1, 2])
+        assert system.n_constraints == 2
+        assert not system.references(5)
+
+    def test_point_ids_recorded(self, points_4d):
+        system = cell_system(points_4d, 0, [3, 7, 9])
+        assert sorted(system.point_ids.tolist()) == [3, 7, 9]
+
+    def test_default_box_is_unit_cube(self, points_4d):
+        system = cell_system(points_4d, 0, [1])
+        assert np.allclose(system.box.low, 0.0)
+        assert np.allclose(system.box.high, 1.0)
+
+    def test_custom_box(self, points_4d):
+        box = MBR(np.full(4, -1.0), np.full(4, 2.0))
+        system = cell_system(points_4d, 0, [1], box=box)
+        assert system.box is box
+
+    def test_rejects_bad_center(self, points_4d):
+        with pytest.raises(IndexError):
+            cell_system(points_4d, len(points_4d), [0])
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError):
+            cell_system(np.array([0.5, 0.6]), 0, [1])
+
+    def test_empty_candidates(self, points_4d):
+        system = cell_system(points_4d, 0, [])
+        assert system.n_constraints == 0
+        assert system.contains([0.9, 0.9, 0.9, 0.9])
+
+
+class TestCellSystemForPoint:
+    def test_matches_indexed_version(self, points_4d):
+        # Building "for point" with the same opponents gives identical
+        # constraint rows.
+        indexed = cell_system(points_4d, 0, [1, 2, 3])
+        loose = cell_system_for_point(
+            points_4d[0], points_4d[[1, 2, 3]], [1, 2, 3]
+        )
+        assert np.allclose(indexed.a, loose.a)
+        assert np.allclose(indexed.b, loose.b)
+
+    def test_insert_path_semantics(self, rng, points_4d):
+        new_point = rng.uniform(size=4)
+        opponents = points_4d[:10]
+        system = cell_system_for_point(new_point, opponents, range(10))
+        for __ in range(100):
+            x = rng.uniform(size=4)
+            d_new = np.linalg.norm(x - new_point)
+            d_opp = float(np.min(np.linalg.norm(opponents - x, axis=1)))
+            assert system.contains(x) == (d_new <= d_opp + 1e-12)

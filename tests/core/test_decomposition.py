@@ -1,0 +1,246 @@
+"""Unit tests for the MBR decomposition (Definition 5, Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximation import approximate_cell
+from repro.core.constraints import cell_system
+from repro.core.decomposition import (
+    DecompositionConfig,
+    decompose_cell,
+    decompose_cell_greedy,
+    obliqueness_scores,
+    partition_counts,
+)
+from repro.data import uniform_points
+from repro.geometry.mbr import MBR
+
+
+@pytest.fixture
+def cell_3d():
+    points = uniform_points(25, 3, seed=41)
+    system = cell_system(points, 0, np.arange(25))
+    mbr = approximate_cell(system, center=points[0])
+    return points, system, mbr
+
+
+class TestPartitionCounts:
+    def test_respects_k_max(self):
+        config = DecompositionConfig(k_max=100)
+        scores = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        counts = partition_counts(scores, config)
+        assert int(np.prod(counts)) <= 100
+
+    def test_counts_non_increasing_in_obliqueness(self):
+        config = DecompositionConfig(k_max=100)
+        scores = np.array([9.0, 5.0, 2.0, 0.5])
+        counts = partition_counts(scores, config)
+        order = np.argsort(scores)[::-1]
+        ordered = counts[order]
+        assert all(
+            ordered[i] >= ordered[i + 1] for i in range(len(ordered) - 1)
+        )
+
+    def test_paper_constant_count_table(self):
+        """Reconstructed table for k_max = 100: d'=2 -> n<=10, d'=3 ->
+        n<=4, d'=4 -> 3, d'=5,6 -> 2.  (The paper's d'=7 with n=2 gives
+        k=128, slightly above the budget — its own text tolerates that.)"""
+        for d_prime, expected in [(2, 10), (3, 4), (4, 3), (5, 2), (6, 2)]:
+            n_base = int(100 ** (1.0 / d_prime))
+            assert n_base == expected
+        # With the budget raised to 128, seven dimensions split in two.
+        assert int(128 ** (1.0 / 7.0)) == 2
+
+    def test_k_max_one_means_no_split(self):
+        config = DecompositionConfig(k_max=1)
+        counts = partition_counts(np.array([3.0, 2.0]), config)
+        assert counts.tolist() == [1, 1]
+
+    def test_zero_scores_no_split(self):
+        config = DecompositionConfig(k_max=50)
+        counts = partition_counts(np.zeros(4), config)
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    def test_max_dims_bound(self):
+        config = DecompositionConfig(k_max=10 ** 9, max_dims=2)
+        counts = partition_counts(np.ones(6), config)
+        assert int(np.sum(counts > 1)) <= 2
+
+    def test_never_more_than_seven_dims(self):
+        config = DecompositionConfig(k_max=2 ** 20, max_dims=20)
+        counts = partition_counts(np.ones(12), config)
+        assert int(np.sum(counts > 1)) <= 7
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DecompositionConfig(k_max=0)
+        with pytest.raises(ValueError):
+            DecompositionConfig(max_dims=0)
+        with pytest.raises(ValueError):
+            DecompositionConfig(heuristic="magic")
+
+
+class TestObliquenessScores:
+    def test_extent_heuristic_is_mbr_extent(self, cell_3d):
+        __, system, mbr = cell_3d
+        scores = obliqueness_scores(
+            system, mbr, DecompositionConfig(heuristic="extent")
+        )
+        assert np.allclose(scores, mbr.extents)
+
+    def test_trial_heuristic_in_unit_range(self, cell_3d):
+        __, system, mbr = cell_3d
+        scores = obliqueness_scores(
+            system, mbr, DecompositionConfig(heuristic="trial")
+        )
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+
+    def test_trial_detects_oblique_dimension(self):
+        """A diagonal 2-d cell is oblique in both axes; a axis-aligned
+        slab cell is oblique in neither."""
+        # Diagonal neighbors: bisector at 45 degrees -> oblique cell.
+        diag = np.array([[0.3, 0.3], [0.7, 0.7]])
+        system = cell_system(diag, 0, [1])
+        mbr = approximate_cell(system, center=diag[0])
+        config = DecompositionConfig(heuristic="trial")
+        diag_scores = obliqueness_scores(system, mbr, config)
+        # Axis-aligned neighbors: bisector vertical -> rectangular cell.
+        straight = np.array([[0.3, 0.5], [0.7, 0.5]])
+        system2 = cell_system(straight, 0, [1])
+        mbr2 = approximate_cell(system2, center=straight[0])
+        straight_scores = obliqueness_scores(system2, mbr2, config)
+        assert np.max(diag_scores) > np.max(straight_scores) + 0.05
+
+
+class TestDecomposeCell:
+    @pytest.mark.parametrize("heuristic", ["extent", "trial"])
+    def test_pieces_cover_the_cell(self, cell_3d, rng, heuristic):
+        """No false dismissals (Lemma 2): every point of the cell lies in
+        some decomposed piece."""
+        points, system, mbr = cell_3d
+        config = DecompositionConfig(k_max=8, heuristic=heuristic)
+        pieces = decompose_cell(system, mbr, config)
+        assert len(pieces) >= 1
+        for __ in range(400):
+            x = rng.uniform(size=3)
+            if system.contains(x):
+                assert any(p.contains_point(x, atol=1e-7) for p in pieces)
+
+    def test_decomposition_reduces_volume(self, cell_3d):
+        __, system, mbr = cell_3d
+        config = DecompositionConfig(k_max=16)
+        pieces = decompose_cell(system, mbr, config)
+        total = sum(p.volume() for p in pieces)
+        assert total <= mbr.volume() + 1e-9
+
+    def test_pieces_inside_original_mbr(self, cell_3d):
+        __, system, mbr = cell_3d
+        pieces = decompose_cell(system, mbr, DecompositionConfig(k_max=27))
+        for piece in pieces:
+            assert mbr.contains(piece, atol=1e-7)
+
+    def test_k_max_one_returns_plain_mbr(self, cell_3d):
+        __, system, mbr = cell_3d
+        pieces = decompose_cell(system, mbr, DecompositionConfig(k_max=1))
+        assert pieces == [mbr]
+
+    def test_degenerate_cell_not_split(self):
+        """A zero-extent cell (duplicate point neighborhood) survives."""
+        points = np.array([[0.5, 0.5], [0.5, 0.5], [0.9, 0.9]])
+        system = cell_system(points, 0, [1, 2])
+        mbr = approximate_cell(system, center=points[0])
+        pieces = decompose_cell(system, mbr, DecompositionConfig(k_max=8))
+        assert len(pieces) >= 1
+
+    def test_piece_count_bounded_by_k_max(self, cell_3d):
+        __, system, mbr = cell_3d
+        for k_max in (2, 4, 9, 30):
+            pieces = decompose_cell(
+                system, mbr, DecompositionConfig(k_max=k_max)
+            )
+            assert len(pieces) <= k_max
+
+
+class TestGreedyStrategy:
+    def test_pieces_cover_the_cell(self, cell_3d, rng):
+        points, system, mbr = cell_3d
+        config = DecompositionConfig(k_max=8, strategy="greedy")
+        pieces = decompose_cell(system, mbr, config)
+        assert 1 <= len(pieces) <= 8
+        for __ in range(400):
+            x = rng.uniform(size=3)
+            if system.contains(x):
+                assert any(p.contains_point(x, atol=1e-7) for p in pieces)
+
+    def test_beats_or_matches_grid_at_same_budget(self, cell_3d):
+        """The adaptive splitter spends the piece budget at least as well
+        as the fixed grid (its first split is the grid's best split, and
+        it only keeps splitting while volume drops)."""
+        __, system, mbr = cell_3d
+        grid = decompose_cell(
+            system, mbr, DecompositionConfig(k_max=8, strategy="grid")
+        )
+        greedy = decompose_cell(
+            system, mbr, DecompositionConfig(k_max=8, strategy="greedy")
+        )
+        grid_volume = sum(p.volume() for p in grid)
+        greedy_volume = sum(p.volume() for p in greedy)
+        assert greedy_volume <= grid_volume * 1.05 + 1e-12
+
+    def test_monotone_volume_in_budget(self, cell_3d):
+        __, system, mbr = cell_3d
+        volumes = []
+        for k_max in (1, 2, 4, 8):
+            pieces = decompose_cell_greedy(
+                system, mbr, DecompositionConfig(k_max=k_max,
+                                                 strategy="greedy")
+            )
+            volumes.append(sum(p.volume() for p in pieces))
+        assert all(
+            volumes[i] >= volumes[i + 1] - 1e-9
+            for i in range(len(volumes) - 1)
+        )
+
+    def test_k_max_one_returns_base_approximation(self, cell_3d):
+        __, system, mbr = cell_3d
+        pieces = decompose_cell_greedy(
+            system, mbr, DecompositionConfig(k_max=1, strategy="greedy")
+        )
+        assert len(pieces) == 1
+        assert mbr.contains(pieces[0], atol=1e-7)
+
+    def test_stops_when_no_gain(self):
+        """An axis-aligned box cell cannot be improved by splitting: the
+        greedy strategy must stop immediately instead of burning budget."""
+        points = np.array([[0.25, 0.5], [0.75, 0.5]])
+        from repro.core.constraints import cell_system as make_system
+        from repro.core.approximation import approximate_cell as approx
+
+        system = make_system(points, 0, [1])
+        mbr = approx(system, center=points[0])
+        pieces = decompose_cell_greedy(
+            system, mbr, DecompositionConfig(k_max=16, strategy="greedy")
+        )
+        assert len(pieces) == 1
+
+    def test_index_integration(self, rng):
+        """NNCellIndex built with the greedy strategy stays exact."""
+        from repro.core.nncell_index import BuildConfig, NNCellIndex
+        from repro.data import uniform_points
+
+        points = uniform_points(40, 3, seed=191)
+        config = BuildConfig(
+            decompose=True,
+            decomposition=DecompositionConfig(k_max=6, strategy="greedy"),
+        )
+        index = NNCellIndex.build(points, config)
+        for __ in range(40):
+            q = rng.uniform(size=3)
+            __, dist, __info = index.nearest(q)
+            true = float(np.min(np.linalg.norm(points - q, axis=1)))
+            assert dist == pytest.approx(true)
+
+    def test_config_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            DecompositionConfig(strategy="quadtree")

@@ -1,0 +1,176 @@
+"""Dynamic-update tests: inserts shrink cells, deletes grow them.
+
+Every test validates the central contract: after any update sequence,
+``nearest()`` agrees with brute force over the live points (the paper's
+Section 2, "the dynamic case").
+"""
+
+import numpy as np
+import pytest
+
+from helpers import brute_nearest
+from repro.core.candidates import SelectorKind
+from repro.core.decomposition import DecompositionConfig
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.data import uniform_points
+
+
+def check_queries(index, rng, n_queries=30):
+    live_ids = index.active_ids
+    live_points = index.points[live_ids]
+    for __ in range(n_queries):
+        q = rng.uniform(size=index.dim)
+        pid, dist, __ = index.nearest(q)
+        __, true_dist = brute_nearest(q, live_points)
+        assert dist == pytest.approx(true_dist), f"query {q} wrong"
+
+
+class TestInsert:
+    def test_insert_then_query(self, rng):
+        points = uniform_points(40, 3, seed=61)
+        index = NNCellIndex.build(points)
+        for __ in range(15):
+            index.insert(rng.uniform(size=3))
+        assert len(index) == 55
+        check_queries(index, rng)
+
+    def test_insert_returns_sequential_ids(self, rng):
+        index = NNCellIndex.build(uniform_points(10, 2, seed=62))
+        assert index.insert(rng.uniform(size=2)) == 10
+        assert index.insert(rng.uniform(size=2)) == 11
+
+    def test_insert_rejects_outside_space(self):
+        index = NNCellIndex.build(uniform_points(10, 2, seed=63))
+        with pytest.raises(ValueError):
+            index.insert([0.5, 1.5])
+        with pytest.raises(ValueError):
+            index.insert([0.5])
+
+    def test_inserted_point_is_its_own_nn(self, rng):
+        index = NNCellIndex.build(uniform_points(30, 3, seed=64))
+        p = rng.uniform(size=3)
+        new_id = index.insert(p)
+        pid, dist, __ = index.nearest(p)
+        assert pid == new_id
+        assert dist == pytest.approx(0.0)
+
+    def test_existing_cells_only_shrink(self, rng):
+        """An insert may shrink other cells' rectangles, never grow them."""
+        points = uniform_points(25, 2, seed=65)
+        index = NNCellIndex.build(
+            points, BuildConfig(selector=SelectorKind.CORRECT)
+        )
+        before = {
+            i: index.cell_rectangles(i)[0] for i in range(25)
+        }
+        index.insert(rng.uniform(size=2))
+        for i in range(25):
+            after = index.cell_rectangles(i)[0]
+            assert before[i].contains(after, atol=1e-7), (
+                f"cell {i} grew after an insert"
+            )
+
+    def test_insert_near_existing_point(self, rng):
+        index = NNCellIndex.build(uniform_points(30, 3, seed=66))
+        base = index.points[4]
+        near = np.clip(base + 1e-6, 0.0, 1.0)
+        index.insert(near)
+        check_queries(index, rng, n_queries=20)
+
+    def test_insert_with_decomposition(self, rng):
+        config = BuildConfig(
+            selector=SelectorKind.NN_DIRECTION,
+            decompose=True,
+            decomposition=DecompositionConfig(k_max=4),
+        )
+        index = NNCellIndex.build(uniform_points(25, 3, seed=67), config)
+        for __ in range(8):
+            index.insert(rng.uniform(size=3))
+        check_queries(index, rng, n_queries=20)
+
+
+class TestDelete:
+    def test_delete_then_query(self, rng):
+        points = uniform_points(40, 3, seed=68)
+        index = NNCellIndex.build(points)
+        for victim in (3, 17, 25, 39, 0):
+            index.delete(victim)
+        assert len(index) == 35
+        check_queries(index, rng)
+
+    def test_delete_unknown_raises(self):
+        index = NNCellIndex.build(uniform_points(10, 2, seed=69))
+        with pytest.raises(KeyError):
+            index.delete(99)
+        index.delete(5)
+        with pytest.raises(KeyError):
+            index.delete(5)  # already gone
+
+    def test_cannot_delete_last_point(self):
+        index = NNCellIndex.build(np.array([[0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            index.delete(0)
+
+    def test_deleted_point_never_returned(self, rng):
+        points = uniform_points(30, 2, seed=70)
+        index = NNCellIndex.build(points)
+        index.delete(7)
+        # Query exactly at the deleted location.
+        pid, dist, __ = index.nearest(points[7])
+        assert pid != 7
+        assert dist > 0.0
+
+    def test_neighbors_cell_grows_back(self, rng):
+        """Deleting a point hands its region to the neighbors."""
+        points = uniform_points(20, 2, seed=71)
+        index = NNCellIndex.build(
+            points, BuildConfig(selector=SelectorKind.CORRECT)
+        )
+        victim = 9
+        location = points[victim].copy()
+        index.delete(victim)
+        pid, __, info = index.nearest(location)
+        live = index.active_ids
+        __, true_dist = brute_nearest(location, index.points[live])
+        assert pid == int(live[np.argmin(
+            np.linalg.norm(index.points[live] - location, axis=1))])
+
+
+class TestMixedWorkload:
+    @pytest.mark.parametrize(
+        "selector", [SelectorKind.NN_DIRECTION, SelectorKind.SPHERE]
+    )
+    def test_randomized_sequence(self, selector, rng):
+        points = uniform_points(30, 3, seed=72)
+        index = NNCellIndex.build(points, BuildConfig(selector=selector))
+        for step in range(60):
+            op = rng.choice(["insert", "delete", "query"])
+            if op == "insert":
+                index.insert(rng.uniform(size=3))
+            elif op == "delete" and len(index) > 2:
+                index.delete(int(rng.choice(index.active_ids)))
+            else:
+                check_queries(index, rng, n_queries=3)
+        check_queries(index, rng, n_queries=20)
+        index.cell_tree.validate()
+        index.data_tree.validate()
+
+    def test_reinsert_after_delete_same_location(self, rng):
+        index = NNCellIndex.build(uniform_points(20, 2, seed=73))
+        spot = index.points[3].copy()
+        index.delete(3)
+        new_id = index.insert(spot)
+        pid, dist, __ = index.nearest(spot)
+        assert pid == new_id
+        assert dist == pytest.approx(0.0)
+        check_queries(index, rng, n_queries=15)
+
+    def test_shrink_to_two_and_rebuild(self, rng):
+        index = NNCellIndex.build(uniform_points(10, 2, seed=74))
+        for victim in range(8):
+            index.delete(victim)
+        assert len(index) == 2
+        check_queries(index, rng, n_queries=10)
+        for __ in range(10):
+            index.insert(rng.uniform(size=2))
+        check_queries(index, rng, n_queries=15)

@@ -1,0 +1,119 @@
+"""Tests for the order-k extension (the paper's future work)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from helpers import brute_k_nearest
+from repro.core.order_k import (
+    OrderKIndex,
+    _order_k_system,
+    enumerate_order_k_cells,
+)
+from repro.data import clustered_points, uniform_points
+from repro.geometry.mbr import MBR
+
+
+class TestOrderKSystem:
+    def test_semantics(self, rng):
+        """x in cell(A) iff the k-NN set of x is exactly A."""
+        points = uniform_points(10, 2, seed=81)
+        members = frozenset({0, 1})
+        system, pairs = _order_k_system(points, members, MBR.unit_cube(2))
+        assert system.n_constraints == 2 * 8
+        assert pairs.shape == (16, 2)
+        for __ in range(200):
+            x = rng.uniform(size=2)
+            dists = np.linalg.norm(points - x, axis=1)
+            knn = set(np.argsort(dists)[:2].tolist())
+            if system.contains(x):
+                assert knn == set(members)
+
+
+class TestEnumeration:
+    def test_cells_tile_the_space_2d(self, rng):
+        """Every generic query point lies in exactly one order-k cell."""
+        points = uniform_points(12, 2, seed=82)
+        cells = enumerate_order_k_cells(points, k=2)
+        member_sets = [c.members for c in cells]
+        assert len(set(member_sets)) == len(member_sets)  # unique
+        for __ in range(150):
+            x = rng.uniform(size=2)
+            dists = np.linalg.norm(points - x, axis=1)
+            knn = frozenset(np.argsort(dists)[:2].tolist())
+            assert knn in member_sets, f"k-set {set(knn)} not enumerated"
+
+    def test_matches_exhaustive_enumeration(self):
+        """BFS finds exactly the k-sets with non-empty cells (checked
+        against trying all C(n, k) subsets by LP feasibility)."""
+        from repro.core.approximation import approximate_cell
+
+        points = uniform_points(8, 2, seed=83)
+        cells = enumerate_order_k_cells(points, k=2)
+        found = {c.members for c in cells}
+        box = MBR.unit_cube(2)
+        expected = set()
+        for combo in itertools.combinations(range(8), 2):
+            system, __ = _order_k_system(points, frozenset(combo), box)
+            if approximate_cell(system, prune=False) is not None:
+                expected.add(frozenset(combo))
+        assert found == expected
+
+    def test_k_one_matches_order_one_cells(self):
+        points = uniform_points(10, 2, seed=84)
+        cells = enumerate_order_k_cells(points, k=1)
+        owners = {next(iter(c.members)) for c in cells}
+        assert owners == set(range(10))
+
+    def test_rejects_bad_k(self):
+        points = uniform_points(5, 2, seed=85)
+        with pytest.raises(ValueError):
+            enumerate_order_k_cells(points, k=0)
+        with pytest.raises(ValueError):
+            enumerate_order_k_cells(points, k=5)
+
+
+class TestOrderKIndex:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_nearest_matches_bruteforce(self, k, rng):
+        points = uniform_points(15, 2, seed=86)
+        index = OrderKIndex(points, k=k)
+        for __ in range(60):
+            q = rng.uniform(size=2)
+            ids, dists = index.k_nearest(q)
+            __, true_dists = brute_k_nearest(q, points, k)
+            assert np.allclose(dists, true_dists)
+
+    def test_clustered_data(self, rng):
+        points = clustered_points(14, 2, n_clusters=3, seed=87)
+        index = OrderKIndex(points, k=2)
+        for __ in range(40):
+            q = rng.uniform(size=2)
+            ids, dists = index.k_nearest(q)
+            __, true_dists = brute_k_nearest(q, points, 2)
+            assert np.allclose(dists, true_dists)
+
+    def test_three_dimensional(self, rng):
+        points = uniform_points(10, 3, seed=88)
+        index = OrderKIndex(points, k=2)
+        for __ in range(30):
+            q = rng.uniform(size=3)
+            __, dists = index.k_nearest(q)
+            __, true_dists = brute_k_nearest(q, points, 2)
+            assert np.allclose(dists, true_dists)
+
+    def test_query_outside_box_rejected(self):
+        index = OrderKIndex(uniform_points(8, 2, seed=89), k=2)
+        with pytest.raises(ValueError):
+            index.k_nearest([1.5, 0.5])
+
+    def test_stats(self):
+        index = OrderKIndex(uniform_points(8, 2, seed=90), k=2)
+        stats = index.stats()
+        assert stats["k"] == 2
+        assert stats["n_cells"] >= 8
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            OrderKIndex(np.array([[0.5, 0.5]]), k=1)

@@ -1,0 +1,95 @@
+"""Tests for saving/loading NN-cell indexes."""
+
+import numpy as np
+import pytest
+
+from helpers import brute_nearest
+from repro.core.candidates import SelectorKind
+from repro.core.decomposition import DecompositionConfig
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.core.persistence import load_index, save_index
+from repro.data import uniform_points
+
+
+@pytest.fixture
+def archive_path(tmp_path):
+    return tmp_path / "index.npz"
+
+
+def assert_equivalent(a, b, rng, dim, n_queries=30):
+    for __ in range(n_queries):
+        q = rng.uniform(size=dim)
+        pid_a, dist_a, __ = a.nearest(q)
+        pid_b, dist_b, __ = b.nearest(q)
+        assert pid_a == pid_b
+        assert dist_a == pytest.approx(dist_b)
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self, archive_path, rng):
+        points = uniform_points(50, 3, seed=111)
+        index = NNCellIndex.build(points)
+        save_index(index, archive_path)
+        loaded = load_index(archive_path)
+        assert len(loaded) == len(index)
+        assert_equivalent(index, loaded, rng, 3)
+
+    def test_roundtrip_with_decomposition(self, archive_path, rng):
+        config = BuildConfig(
+            selector=SelectorKind.NN_DIRECTION,
+            decompose=True,
+            decomposition=DecompositionConfig(k_max=4),
+        )
+        index = NNCellIndex.build(uniform_points(30, 3, seed=112), config)
+        save_index(index, archive_path)
+        loaded = load_index(archive_path)
+        assert loaded.stats()["n_rectangles"] == index.stats()["n_rectangles"]
+        assert_equivalent(index, loaded, rng, 3)
+
+    def test_roundtrip_after_updates(self, archive_path, rng):
+        index = NNCellIndex.build(uniform_points(30, 2, seed=113))
+        for __ in range(5):
+            index.insert(rng.uniform(size=2))
+        index.delete(3)
+        index.delete(17)
+        save_index(index, archive_path)
+        loaded = load_index(archive_path)
+        assert len(loaded) == len(index)
+        assert_equivalent(index, loaded, rng, 2)
+
+    def test_loaded_index_stays_dynamic(self, archive_path, rng):
+        index = NNCellIndex.build(uniform_points(25, 2, seed=114))
+        save_index(index, archive_path)
+        loaded = load_index(archive_path)
+        loaded.insert(rng.uniform(size=2))
+        loaded.delete(0)
+        live = loaded.points[loaded.active_ids]
+        for __ in range(20):
+            q = rng.uniform(size=2)
+            __, dist, __ = loaded.nearest(q)
+            __, true_dist = brute_nearest(q, live)
+            assert dist == pytest.approx(true_dist)
+
+    def test_config_restored(self, archive_path):
+        config = BuildConfig(selector=SelectorKind.POINT, cache_pages=16)
+        index = NNCellIndex.build(uniform_points(20, 2, seed=115), config)
+        save_index(index, archive_path)
+        loaded = load_index(archive_path)
+        assert loaded.config.selector is SelectorKind.POINT
+        assert loaded.config.cache_pages == 16
+
+    def test_version_guard(self, archive_path):
+        index = NNCellIndex.build(uniform_points(10, 2, seed=116))
+        save_index(index, archive_path)
+        data = dict(np.load(archive_path))
+        data["format_version"] = np.int64(99)
+        np.savez(archive_path, **data)
+        with pytest.raises(ValueError):
+            load_index(archive_path)
+
+    def test_single_point_roundtrip(self, archive_path, rng):
+        index = NNCellIndex.build(np.array([[0.4, 0.6]]))
+        save_index(index, archive_path)
+        loaded = load_index(archive_path)
+        pid, __, __ = loaded.nearest(rng.uniform(size=2))
+        assert pid == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the overlap / quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    average_overlap,
+    expected_candidates,
+    measured_overlap,
+    quality_to_performance,
+)
+from repro.geometry.mbr import MBR
+
+
+def halves():
+    return [
+        MBR([0.0, 0.0], [0.5, 1.0]),
+        MBR([0.5, 0.0], [1.0, 1.0]),
+    ]
+
+
+class TestExpectedCandidates:
+    def test_perfect_tiling_is_one(self):
+        assert expected_candidates(halves(), MBR.unit_cube(2)) == pytest.approx(1.0)
+
+    def test_full_overlap_counts_multiplicity(self):
+        rects = [MBR.unit_cube(2)] * 3
+        assert expected_candidates(rects, MBR.unit_cube(2)) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            expected_candidates([], MBR.unit_cube(2))
+
+    def test_rejects_zero_volume_box(self):
+        box = MBR([0.0, 0.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            expected_candidates(halves(), box)
+
+
+class TestAverageOverlap:
+    def test_tiling_has_zero_overlap(self):
+        assert average_overlap(halves(), MBR.unit_cube(2)) == pytest.approx(0.0)
+
+    def test_overlapping_rects(self):
+        rects = [
+            MBR([0.0, 0.0], [0.75, 1.0]),
+            MBR([0.25, 0.0], [1.0, 1.0]),
+        ]
+        assert average_overlap(rects, MBR.unit_cube(2)) == pytest.approx(0.5)
+
+    def test_never_negative(self):
+        # Undercoverage clamps at zero rather than going negative.
+        rects = [MBR([0.0, 0.0], [0.1, 0.1])]
+        assert average_overlap(rects, MBR.unit_cube(2)) == 0.0
+
+
+class TestMeasuredOverlap:
+    def test_matches_analytic_on_uniform_queries(self, rng):
+        rects = [
+            MBR([0.0, 0.0], [0.75, 1.0]),
+            MBR([0.25, 0.0], [1.0, 1.0]),
+        ]
+        queries = rng.uniform(size=(4000, 2))
+        measured = measured_overlap(rects, queries)
+        analytic = expected_candidates(rects, MBR.unit_cube(2))
+        assert measured == pytest.approx(analytic, abs=0.05)
+
+    def test_single_query(self):
+        assert measured_overlap(halves(), np.array([0.25, 0.5])) == 1.0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            measured_overlap(halves(), np.zeros((3, 3)))
+
+
+class TestQualityToPerformance:
+    def test_better_quality_scores_higher(self):
+        assert quality_to_performance(0.1, 1.0) > quality_to_performance(
+            2.0, 1.0
+        )
+
+    def test_faster_build_scores_higher(self):
+        assert quality_to_performance(1.0, 0.1) > quality_to_performance(
+            1.0, 10.0
+        )
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            quality_to_performance(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            quality_to_performance(0.1, -1.0)
+
+    def test_zero_build_time_is_finite(self):
+        assert np.isfinite(quality_to_performance(0.5, 0.0))

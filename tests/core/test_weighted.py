@@ -1,0 +1,96 @@
+"""Tests for the weighted-metric NN-cell extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighted import WeightedNNCellIndex, weighted_distances
+from repro.data import clustered_points, uniform_points
+from repro.geometry.halfspace import bisectors_from_points
+
+
+class TestWeightedBisectors:
+    def test_weighted_bisector_semantics(self, rng):
+        w = np.array([1.0, 9.0, 0.5])
+        p = rng.uniform(size=3)
+        q = rng.uniform(size=3)
+        a, b = bisectors_from_points(p, q[None, :], weights=w)
+        for __ in range(200):
+            x = rng.uniform(size=3)
+            closer = float(w @ (x - p) ** 2) <= float(w @ (x - q) ** 2)
+            assert (float(a[0] @ x) <= b[0] + 1e-12) == closer
+
+    def test_unit_weights_match_unweighted(self, rng):
+        p = rng.uniform(size=4)
+        others = rng.uniform(size=(6, 4))
+        a1, b1 = bisectors_from_points(p, others)
+        a2, b2 = bisectors_from_points(p, others, weights=np.ones(4))
+        assert np.allclose(a1, a2)
+        assert np.allclose(b1, b2)
+
+    def test_rejects_bad_weights(self, rng):
+        p = rng.uniform(size=3)
+        others = rng.uniform(size=(2, 3))
+        with pytest.raises(ValueError):
+            bisectors_from_points(p, others, weights=np.array([1.0, -1.0, 1.0]))
+        with pytest.raises(ValueError):
+            bisectors_from_points(p, others, weights=np.ones(2))
+
+
+class TestWeightedDistances:
+    def test_matches_direct_formula(self, rng):
+        pts = rng.uniform(size=(10, 3))
+        q = rng.uniform(size=3)
+        w = np.array([2.0, 1.0, 4.0])
+        dists = weighted_distances(q, pts, w)
+        for i in range(10):
+            assert dists[i] == pytest.approx(float(w @ (pts[i] - q) ** 2))
+
+
+class TestWeightedIndex:
+    @pytest.mark.parametrize("max_constraints", [None, 10])
+    def test_exact_weighted_nn(self, rng, max_constraints):
+        points = uniform_points(50, 3, seed=121)
+        w = np.array([1.0, 6.0, 0.3])
+        index = WeightedNNCellIndex(points, w, max_constraints=max_constraints)
+        for __ in range(60):
+            q = rng.uniform(size=3)
+            pid, dist = index.nearest(q)
+            true = np.sqrt(weighted_distances(q, points, w))
+            assert dist == pytest.approx(float(true.min()))
+            assert true[pid] == pytest.approx(float(true.min()))
+
+    def test_weighting_changes_answers(self, rng):
+        """A strong axis weight must change some NN answers vs uniform
+        weights — otherwise the weights are not actually applied."""
+        points = clustered_points(60, 2, seed=122)
+        flat = WeightedNNCellIndex(points, [1.0, 1.0], max_constraints=15)
+        skewed = WeightedNNCellIndex(points, [100.0, 0.01],
+                                     max_constraints=15)
+        changed = 0
+        for __ in range(50):
+            q = rng.uniform(size=2)
+            if flat.nearest(q)[0] != skewed.nearest(q)[0]:
+                changed += 1
+        assert changed > 0
+
+    def test_rejects_bad_input(self):
+        points = uniform_points(10, 2, seed=123)
+        with pytest.raises(ValueError):
+            WeightedNNCellIndex(points, [1.0])  # wrong weight length
+        with pytest.raises(ValueError):
+            WeightedNNCellIndex(points, [1.0, 0.0])  # non-positive
+        with pytest.raises(ValueError):
+            WeightedNNCellIndex(np.zeros((0, 2)), [1.0, 1.0])
+
+    def test_query_validation(self):
+        points = uniform_points(10, 2, seed=124)
+        index = WeightedNNCellIndex(points, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            index.nearest([0.5])
+        with pytest.raises(ValueError):
+            index.nearest([0.5, 1.5])
+
+    def test_single_point(self, rng):
+        index = WeightedNNCellIndex(np.array([[0.2, 0.8]]), [3.0, 1.0])
+        pid, __ = index.nearest(rng.uniform(size=2))
+        assert pid == 0

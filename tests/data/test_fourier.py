@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic Fourier feature generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.fourier import fourier_points, fourier_signals
+
+
+class TestSignals:
+    def test_shape(self):
+        sig = fourier_signals(20, signal_len=32, seed=1)
+        assert sig.shape == (20, 32)
+
+    def test_smoothness_parameter(self):
+        rough = fourier_signals(200, smoothness=0.0, seed=2)
+        smooth = fourier_signals(200, smoothness=0.95, seed=2)
+
+        def mean_abs_step(s):
+            return float(np.mean(np.abs(np.diff(s, axis=1))))
+
+        def scale(s):
+            return float(np.mean(np.abs(s))) + 1e-12
+
+        # Relative step size shrinks as smoothness rises.
+        assert mean_abs_step(smooth) / scale(smooth) < mean_abs_step(
+            rough
+        ) / scale(rough)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            fourier_signals(0)
+        with pytest.raises(ValueError):
+            fourier_signals(5, signal_len=2)
+        with pytest.raises(ValueError):
+            fourier_signals(5, smoothness=1.0)
+
+
+class TestFourierPoints:
+    def test_shape_and_unit_cube(self):
+        pts = fourier_points(300, dim=8, seed=3)
+        assert pts.shape == (300, 8)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_normalisation_spans_axes(self):
+        pts = fourier_points(300, dim=8, seed=4)
+        assert np.allclose(pts.min(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(pts.max(axis=0), 1.0, atol=1e-9)
+
+    def test_clustered_not_uniform(self):
+        """Low-frequency energy dominance makes coordinates correlated,
+        so the joint distribution is far from uniform."""
+        pts = fourier_points(2000, dim=8, seed=5)
+        corr = np.corrcoef(pts, rowvar=False)
+        off_diag = corr[~np.eye(8, dtype=bool)]
+        assert float(np.max(np.abs(off_diag))) > 0.2
+
+    def test_no_exact_duplicates(self):
+        pts = fourier_points(500, dim=4, seed=6)
+        assert np.unique(pts, axis=0).shape[0] == 500
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            fourier_points(50, seed=7), fourier_points(50, seed=7)
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            fourier_points(10, dim=0)
+        with pytest.raises(ValueError):
+            fourier_points(10, dim=8, signal_len=10)

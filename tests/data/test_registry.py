@@ -1,0 +1,38 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import dataset_names, make_dataset, register_dataset
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = dataset_names()
+        for expected in ("uniform", "grid", "sparse", "clustered", "fourier"):
+            assert expected in names
+
+    def test_make_dataset_dispatch(self):
+        pts = make_dataset("uniform", n=25, dim=3, seed=1)
+        assert pts.shape == (25, 3)
+        grid = make_dataset("grid", per_axis=3, dim=2)
+        assert grid.shape == (9, 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError) as err:
+            make_dataset("no-such-dataset")
+        assert "uniform" in str(err.value)  # lists known names
+
+    def test_custom_registration(self):
+        register_dataset("constant", lambda n, dim: np.full((n, dim), 0.5))
+        try:
+            pts = make_dataset("constant", n=4, dim=2)
+            assert np.all(pts == 0.5)
+        finally:
+            # Shadowing is allowed; restore a clean state for other tests.
+            import repro.data.registry as reg
+            del reg._REGISTRY["constant"]
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            register_dataset("", lambda: None)

@@ -1,0 +1,155 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    clustered_points,
+    diagonal_points,
+    grid_points,
+    query_points,
+    sparse_points,
+    uniform_points,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pts = uniform_points(100, 7, seed=1)
+        assert pts.shape == (100, 7)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(
+            uniform_points(20, 3, seed=5), uniform_points(20, 3, seed=5)
+        )
+        assert not np.array_equal(
+            uniform_points(20, 3, seed=5), uniform_points(20, 3, seed=6)
+        )
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            uniform_points(0, 2)
+        with pytest.raises(ValueError):
+            uniform_points(10, 0)
+
+    def test_marginals_are_uniform(self):
+        pts = uniform_points(5000, 2, seed=7)
+        # Each axis histogram should be flat within sampling noise.
+        hist, __ = np.histogram(pts[:, 0], bins=10, range=(0, 1))
+        assert np.all(hist > 350)
+
+
+class TestGrid:
+    def test_count_and_regularity(self):
+        pts = grid_points(3, 2)
+        assert pts.shape == (9, 2)
+        # Coordinates sit at cell centres 1/6, 3/6, 5/6.
+        expected = {1 / 6, 3 / 6, 5 / 6}
+        assert set(np.round(pts[:, 0], 9)) == {round(v, 9) for v in expected}
+
+    def test_every_cell_holds_one_point(self):
+        pts = grid_points(4, 3)
+        assert pts.shape == (64, 3)
+        cells = np.floor(pts * 4).astype(int)
+        assert len({tuple(c) for c in cells}) == 64
+
+    def test_jitter_stays_in_cell(self):
+        clean = grid_points(5, 2)
+        jittered = grid_points(5, 2, jitter=1.0, seed=1)
+        assert np.all(np.abs(jittered - clean) <= 0.1 + 1e-12)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            grid_points(0, 2)
+        with pytest.raises(ValueError):
+            grid_points(2, 2, jitter=2.0)
+
+
+class TestSparse:
+    def test_points_are_far_apart(self):
+        pts = sparse_points(10, 2, seed=3)
+        dense = uniform_points(10, 2, seed=3)
+
+        def min_pairwise(p):
+            diffs = p[:, None, :] - p[None, :, :]
+            dist = np.sqrt(np.sum(diffs ** 2, axis=2))
+            np.fill_diagonal(dist, np.inf)
+            return float(dist.min())
+
+        assert min_pairwise(pts) > min_pairwise(dense)
+
+    def test_spread_shrinks_toward_center(self):
+        wide = sparse_points(8, 2, seed=4, spread=1.0)
+        tight = sparse_points(8, 2, seed=4, spread=0.4)
+        assert np.max(np.abs(tight - 0.5)) < np.max(np.abs(wide - 0.5))
+
+    def test_shape(self):
+        assert sparse_points(6, 5, seed=5).shape == (6, 5)
+
+
+class TestDiagonal:
+    def test_points_lie_near_diagonal(self):
+        pts = diagonal_points(10, 3, jitter=0.01, seed=1)
+        spread = np.max(pts, axis=1) - np.min(pts, axis=1)
+        assert np.all(spread <= 0.02 + 1e-12)
+
+    def test_zero_jitter_is_exact_diagonal(self):
+        pts = diagonal_points(5, 4, jitter=0.0)
+        for row in pts:
+            assert np.allclose(row, row[0])
+
+    def test_sorted_along_diagonal(self):
+        pts = diagonal_points(8, 2, jitter=0.0)
+        assert np.all(np.diff(pts[:, 0]) > 0)
+
+    def test_cells_are_oblique(self):
+        """The design goal: diagonal cells' MBR approximations overlap
+        far more than uniform cells' (the Figure 2 worst case)."""
+        from repro.core import BuildConfig, NNCellIndex, SelectorKind
+        from repro.core.quality import average_overlap
+        from repro.geometry.mbr import MBR
+
+        def overlap_of(points):
+            index = NNCellIndex.build(
+                points, BuildConfig(selector=SelectorKind.CORRECT)
+            )
+            rects = [r for __, r in index.all_cell_rectangles()]
+            return average_overlap(rects, MBR.unit_cube(2))
+
+        diag = overlap_of(diagonal_points(8, 2, jitter=0.02, seed=2))
+        unif = overlap_of(uniform_points(8, 2, seed=2))
+        assert diag > unif
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            diagonal_points(5, 2, jitter=-0.1)
+
+
+class TestClustered:
+    def test_shape_and_range(self):
+        pts = clustered_points(200, 4, seed=6)
+        assert pts.shape == (200, 4)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_clusters_are_tight(self):
+        pts = clustered_points(500, 3, n_clusters=3, cluster_std=0.01,
+                               seed=7)
+        # Mean NN distance far below the uniform expectation.
+        diffs = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt(np.sum(diffs ** 2, axis=2))
+        np.fill_diagonal(dist, np.inf)
+        assert float(np.mean(dist.min(axis=1))) < 0.02
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, 2, n_clusters=0)
+        with pytest.raises(ValueError):
+            clustered_points(10, 2, cluster_std=0.0)
+
+
+class TestQueryPoints:
+    def test_differs_from_data_seed(self):
+        data = uniform_points(50, 3, seed=9)
+        queries = query_points(50, 3)
+        assert not np.array_equal(data, queries)

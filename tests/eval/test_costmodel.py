@@ -1,0 +1,75 @@
+"""Unit tests for the analytic NN cost model ([BBKK 97] quantities)."""
+
+import math
+
+import pytest
+
+from repro.eval.costmodel import (
+    expected_leaf_accesses,
+    expected_nn_distance,
+    nn_sphere_volume_fraction,
+    unit_ball_volume,
+)
+
+
+class TestUnitBallVolume:
+    def test_known_values(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 * math.pi / 3.0)
+
+    def test_vanishes_in_high_dim(self):
+        assert unit_ball_volume(50) < 1e-10
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            unit_ball_volume(0)
+
+
+class TestExpectedNNDistance:
+    def test_decreases_with_n(self):
+        assert expected_nn_distance(1000, 4) < expected_nn_distance(100, 4)
+
+    def test_increases_with_dim(self):
+        assert expected_nn_distance(1000, 16) > expected_nn_distance(1000, 4)
+
+    def test_defining_equation(self):
+        # n * vol_ball(r) == 1 at the returned radius.
+        for n, d in [(100, 2), (10000, 8)]:
+            r = expected_nn_distance(n, d)
+            assert n * unit_ball_volume(d) * r ** d == pytest.approx(1.0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            expected_nn_distance(0, 4)
+
+
+class TestCurseOfDimensionality:
+    def test_volume_fraction_grows_with_dim(self):
+        fractions = [
+            nn_sphere_volume_fraction(10000, d) for d in (2, 8, 16, 32)
+        ]
+        assert all(
+            fractions[i] <= fractions[i + 1] + 1e-12
+            for i in range(len(fractions) - 1)
+        )
+
+    def test_fraction_capped_at_one(self):
+        assert nn_sphere_volume_fraction(10, 64) == 1.0
+
+    def test_leaf_accesses_grow_with_dim(self):
+        low = expected_leaf_accesses(100000, 4, 50)
+        high = expected_leaf_accesses(100000, 16, 50)
+        assert high > low
+
+    def test_leaf_accesses_saturate_at_full_scan(self):
+        n, per_page = 10000, 50
+        estimate = expected_leaf_accesses(n, 64, per_page)
+        assert estimate == pytest.approx(n / per_page)
+
+    def test_tiny_database_is_one_page(self):
+        assert expected_leaf_accesses(10, 8, 50) == 1.0
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            expected_leaf_accesses(100, 4, 0)

@@ -1,0 +1,138 @@
+"""Smoke tests for the figure experiments (tiny parameters).
+
+Each experiment must run end to end, produce the figure's columns, and —
+where the paper's shape is unambiguous even at toy scale — show it.
+"""
+
+import pytest
+
+from repro.data import uniform_points
+from repro.eval.experiments import (
+    compare_methods,
+    figure2_cell_gallery,
+    figure4_selector_tradeoff,
+    figure5_quality_performance,
+    figure7_to_9_dimension_sweep,
+    figure10_size_sweep,
+    figure11_12_fourier,
+    figure13_decomposition,
+)
+
+
+class TestCompareMethods:
+    def test_all_methods_present(self):
+        points = uniform_points(100, 3, seed=95)
+        queries = uniform_points(5, 3, seed=96)
+        run = compare_methods(points, queries)
+        assert set(run.measurements) == {"nn-cell", "rstar", "xtree"}
+        assert run.n_points == 100 and run.dim == 3
+
+    def test_method_subset(self):
+        points = uniform_points(60, 3, seed=97)
+        queries = uniform_points(4, 3, seed=98)
+        run = compare_methods(points, queries, methods=("nn-cell", "xtree"))
+        assert set(run.measurements) == {"nn-cell", "xtree"}
+
+    def test_unknown_method(self):
+        points = uniform_points(10, 2, seed=99)
+        with pytest.raises(ValueError):
+            compare_methods(points, points[:2], methods=("kdtree",))
+
+    def test_guttman_method(self):
+        points = uniform_points(80, 3, seed=102)
+        queries = uniform_points(4, 3, seed=103)
+        run = compare_methods(points, queries, methods=("guttman", "rstar"))
+        assert set(run.measurements) == {"guttman", "rstar"}
+        assert run.measurements["guttman"].pages > 0
+
+    def test_custom_build_config(self):
+        from repro.core.candidates import SelectorKind
+        from repro.core.nncell_index import BuildConfig
+
+        points = uniform_points(50, 3, seed=100)
+        queries = uniform_points(4, 3, seed=101)
+        run = compare_methods(
+            points,
+            queries,
+            build_config=BuildConfig(selector=SelectorKind.CORRECT),
+            methods=("nn-cell",),
+        )
+        assert run.measurements["nn-cell"].n_queries == 4
+
+    def test_dimension_sweep_selector_param(self):
+        from repro.core.candidates import SelectorKind
+
+        table = figure7_to_9_dimension_sweep(
+            dims=(2,), n_points=60, n_queries=3,
+            selector=SelectorKind.SPHERE,
+        )
+        assert len(table.rows) == 1
+
+
+class TestFigure2:
+    def test_grid_is_best_sparse_is_worst(self):
+        table = figure2_cell_gallery(n_points=12)
+        rows = {r["distribution"]: r for r in table.rows}
+        assert rows["grid"]["overlap"] == pytest.approx(0.0, abs=1e-6)
+        assert rows["sparse"]["overlap"] > rows["grid"]["overlap"]
+        assert rows["uniform"]["overlap"] > 0.0
+
+
+class TestFigure4And5:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return figure4_selector_tradeoff(dims=(2, 4), n_points=50)
+
+    def test_columns_and_rows(self, fig4):
+        assert len(fig4.rows) == 2 * 4  # dims x algorithms
+        assert set(fig4.columns) >= {"dim", "algorithm", "build_seconds",
+                                     "overlap"}
+
+    def test_correct_has_lowest_overlap(self, fig4):
+        for dim in (2, 4):
+            rows = [r for r in fig4.rows if r["dim"] == dim]
+            by_alg = {r["algorithm"]: r["overlap"] for r in rows}
+            assert by_alg["correct"] == min(by_alg.values())
+
+    def test_nn_direction_is_fastest(self, fig4):
+        for dim in (2, 4):
+            rows = [r for r in fig4.rows if r["dim"] == dim]
+            by_alg = {r["algorithm"]: r["build_seconds"] for r in rows}
+            assert by_alg["nn-direction"] == min(by_alg.values())
+
+    def test_figure5_derived_from_figure4(self, fig4):
+        fig5 = figure5_quality_performance(fig4)
+        assert len(fig5.rows) == len(fig4.rows)
+        assert all(r["quality_to_performance"] > 0 for r in fig5.rows)
+
+
+class TestFigure7To10:
+    def test_dimension_sweep_columns(self):
+        table = figure7_to_9_dimension_sweep(
+            dims=(2, 3), n_points=120, n_queries=5
+        )
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row["nncell_total_s"] > 0
+            assert row["rstar_pages"] > 0
+            assert row["speedup_vs_rstar"] > 0
+
+    def test_size_sweep(self):
+        table = figure10_size_sweep(sizes=(60, 120), dim=3, n_queries=5)
+        assert [r["n_points"] for r in table.rows] == [60, 120]
+        # Tree page accesses grow with database size.
+        assert table.rows[1]["rstar_pages"] >= table.rows[0]["rstar_pages"]
+
+
+class TestFigure11To13:
+    def test_fourier_comparison(self):
+        table = figure11_12_fourier(sizes=(150,), dim=6, n_queries=5)
+        row = table.rows[0]
+        assert row["nncell_pages"] > 0 and row["xtree_pages"] > 0
+        assert row["speedup_vs_xtree"] > 0
+
+    def test_decomposition_reduces_overlap(self):
+        table = figure13_decomposition(dims=(2, 3), n_points=40, k_max=8)
+        for row in table.rows:
+            assert row["overlap_decomposed"] <= row["overlap_exact"] + 1e-9
+            assert row["improvement"] >= 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for derived experiment metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.nncell_index import NNCellIndex
+from repro.data import uniform_points
+from repro.eval.metrics import (
+    speedup_percent,
+    summarize_series,
+    verify_against_scan,
+)
+
+
+class TestSpeedup:
+    def test_paper_convention(self):
+        # Improved method twice as fast -> 200 %.
+        assert speedup_percent(2.0, 1.0) == pytest.approx(200.0)
+        # Equal -> 100 %.
+        assert speedup_percent(1.0, 1.0) == pytest.approx(100.0)
+        # Slower -> below 100 %.
+        assert speedup_percent(0.5, 1.0) == pytest.approx(50.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            speedup_percent(1.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup_percent(-1.0, 1.0)
+
+
+class TestVerifyAgainstScan:
+    def test_zero_mismatches_on_correct_index(self, rng):
+        points = uniform_points(60, 3, seed=93)
+        index = NNCellIndex.build(points)
+        queries = rng.uniform(size=(30, 3))
+        report = verify_against_scan(index, points, queries)
+        assert report["mismatches"] == 0.0
+        assert report["queries"] == 30.0
+
+    def test_counts_fallbacks(self, rng):
+        points = uniform_points(30, 2, seed=94)
+        index = NNCellIndex.build(points)
+        outside = np.full((3, 2), 1.4)
+        report = verify_against_scan(index, points, outside)
+        assert report["fallbacks"] == 3.0
+        assert report["mismatches"] == 0.0  # fallback is still exact
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize_series([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_series([])

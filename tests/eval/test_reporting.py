@@ -1,0 +1,61 @@
+"""Unit tests for result-table rendering."""
+
+import pytest
+
+from repro.eval.reporting import ResultTable
+
+
+@pytest.fixture
+def table():
+    t = ResultTable("Demo", ["dim", "value"])
+    t.add_row(dim=4, value=1.25)
+    t.add_row(dim=8, value=0.0001)
+    return t
+
+
+class TestResultTable:
+    def test_add_row_requires_all_columns(self, table):
+        with pytest.raises(ValueError):
+            table.add_row(dim=12)
+
+    def test_extra_values_ignored(self, table):
+        table.add_row(dim=16, value=2.0, extra="dropped")
+        assert "extra" not in table.rows[-1]
+
+    def test_column_access(self, table):
+        assert table.column("dim") == [4, 8]
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_render_contains_header_and_rows(self, table):
+        text = table.render()
+        assert "Demo" in text
+        assert "dim" in text and "value" in text
+        assert "1.25" in text
+
+    def test_render_empty_table(self):
+        t = ResultTable("Empty", ["a"])
+        text = t.render()
+        assert "Empty" in text
+
+    def test_notes_rendered(self, table):
+        table.notes.append("shape holds")
+        assert "note: shape holds" in table.render()
+
+    def test_csv(self, table):
+        csv = table.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "dim,value"
+        assert len(lines) == 3
+
+    def test_str_is_render(self, table):
+        assert str(table) == table.render()
+
+    def test_float_formatting(self):
+        t = ResultTable("F", ["v"])
+        t.add_row(v=0.0)
+        t.add_row(v=123456.789)
+        t.add_row(v=0.00001)
+        text = t.render()
+        assert "0" in text
+        assert "e+" in text or "e-" in text  # scientific for extremes

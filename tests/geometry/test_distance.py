@@ -1,0 +1,127 @@
+"""Unit tests for distance functions and RKV pruning bounds."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    distances_to_points,
+    euclidean,
+    euclidean_sq,
+    maxdist_sq,
+    mindist_sq,
+    mindist_sq_arrays,
+    minmaxdist_sq,
+    minmaxdist_sq_arrays,
+    nearest_of,
+    pairwise_sq,
+)
+
+
+class TestPointDistances:
+    def test_euclidean(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+        assert euclidean_sq([0.0, 0.0], [3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_pairwise_matches_direct(self, rng):
+        pts = rng.uniform(size=(15, 4))
+        mat = pairwise_sq(pts)
+        for i in range(15):
+            for j in range(15):
+                assert mat[i, j] == pytest.approx(
+                    euclidean_sq(pts[i], pts[j]), abs=1e-9
+                )
+
+    def test_pairwise_diagonal_nonnegative(self, rng):
+        pts = rng.uniform(size=(50, 8))
+        mat = pairwise_sq(pts)
+        assert np.all(mat >= 0.0)
+        assert np.allclose(np.diag(mat), 0.0, atol=1e-9)
+
+    def test_distances_to_points(self, rng):
+        pts = rng.uniform(size=(20, 3))
+        q = rng.uniform(size=3)
+        dists = distances_to_points(q, pts)
+        expected = [euclidean_sq(q, p) for p in pts]
+        assert np.allclose(dists, expected)
+
+    def test_nearest_of(self, rng):
+        pts = rng.uniform(size=(25, 5))
+        q = rng.uniform(size=5)
+        idx, dist = nearest_of(q, pts)
+        expected = np.linalg.norm(pts - q, axis=1)
+        assert idx == int(np.argmin(expected))
+        assert dist == pytest.approx(float(np.min(expected)))
+
+
+class TestRectBounds:
+    def setup_method(self):
+        self.low = np.array([0.2, 0.2])
+        self.high = np.array([0.6, 0.8])
+
+    def test_mindist_inside_is_zero(self):
+        assert mindist_sq([0.4, 0.5], self.low, self.high) == 0.0
+
+    def test_mindist_outside(self):
+        # Query left of the rect: distance to the nearest face.
+        assert mindist_sq([0.0, 0.5], self.low, self.high) == pytest.approx(
+            0.04
+        )
+        # Diagonal corner query.
+        assert mindist_sq([0.0, 0.0], self.low, self.high) == pytest.approx(
+            0.08
+        )
+
+    def test_maxdist_is_farthest_corner(self):
+        # From the origin the farthest corner is (0.6, 0.8).
+        assert maxdist_sq([0.0, 0.0], self.low, self.high) == pytest.approx(
+            0.36 + 0.64
+        )
+
+    def test_ordering_mindist_minmax_maxdist(self, rng):
+        for __ in range(200):
+            low = rng.uniform(0.0, 0.5, size=4)
+            high = low + rng.uniform(0.01, 0.5, size=4)
+            q = rng.uniform(-0.5, 1.5, size=4)
+            mind = mindist_sq(q, low, high)
+            minmax = minmaxdist_sq(q, low, high)
+            maxd = maxdist_sq(q, low, high)
+            assert mind <= minmax + 1e-12
+            assert minmax <= maxd + 1e-12
+
+    def test_minmaxdist_bounds_an_object_on_faces(self, rng):
+        """MINMAXDIST upper-bounds the distance to the nearest point of a
+        set whose every face of the MBR touches some member."""
+        for __ in range(50):
+            pts = rng.uniform(size=(30, 3))
+            low, high = pts.min(axis=0), pts.max(axis=0)
+            q = rng.uniform(-0.5, 1.5, size=3)
+            nn_sq = float(np.min(np.sum((pts - q) ** 2, axis=1)))
+            assert nn_sq <= minmaxdist_sq(q, low, high) + 1e-9
+
+    def test_degenerate_rect_all_bounds_equal(self):
+        p = np.array([0.3, 0.7])
+        q = [0.1, 0.1]
+        mind = mindist_sq(q, p, p)
+        assert mind == pytest.approx(minmaxdist_sq(q, p, p))
+        assert mind == pytest.approx(maxdist_sq(q, p, p))
+        assert mind == pytest.approx(euclidean_sq(q, p))
+
+
+class TestVectorisedBounds:
+    def test_mindist_arrays_match_scalar(self, rng):
+        lows = rng.uniform(0.0, 0.5, size=(20, 4))
+        highs = lows + rng.uniform(0.01, 0.5, size=(20, 4))
+        q = rng.uniform(size=4)
+        vec = mindist_sq_arrays(q, lows, highs)
+        for i in range(20):
+            assert vec[i] == pytest.approx(mindist_sq(q, lows[i], highs[i]))
+
+    def test_minmaxdist_arrays_match_scalar(self, rng):
+        lows = rng.uniform(0.0, 0.5, size=(20, 4))
+        highs = lows + rng.uniform(0.01, 0.5, size=(20, 4))
+        q = rng.uniform(size=4)
+        vec = minmaxdist_sq_arrays(q, lows, highs)
+        for i in range(20):
+            assert vec[i] == pytest.approx(
+                minmaxdist_sq(q, lows[i], highs[i])
+            )

@@ -1,0 +1,180 @@
+"""Unit tests for bisector half-spaces and constraint systems."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspace import (
+    HalfspaceSystem,
+    bisector,
+    bisectors_from_points,
+    box_inside_halfspace,
+    box_intersects_halfspace,
+)
+from repro.geometry.mbr import MBR
+
+
+class TestBisector:
+    def test_midpoint_on_plane(self, rng):
+        for __ in range(50):
+            p = rng.uniform(size=3)
+            q = rng.uniform(size=3)
+            a, b = bisector(p, q)
+            mid = (p + q) / 2.0
+            assert float(a @ mid) == pytest.approx(b, abs=1e-9)
+
+    def test_sides(self, rng):
+        p = np.array([0.2, 0.2])
+        q = np.array([0.8, 0.8])
+        a, b = bisector(p, q)
+        # Points nearer to p satisfy the constraint.
+        assert float(a @ p) < b
+        assert float(a @ q) > b
+        x = np.array([0.3, 0.1])  # closer to p
+        assert float(a @ x) <= b
+
+    def test_equivalence_with_distance_comparison(self, rng):
+        for __ in range(100):
+            p, q, x = rng.uniform(size=(3, 4))
+            a, b = bisector(p, q)
+            closer_to_p = np.sum((x - p) ** 2) <= np.sum((x - q) ** 2)
+            assert (float(a @ x) <= b + 1e-12) == closer_to_p
+
+    def test_vectorised_matches_scalar(self, rng):
+        center = rng.uniform(size=3)
+        others = rng.uniform(size=(10, 3))
+        a_mat, b_vec = bisectors_from_points(center, others)
+        for i in range(10):
+            a, b = bisector(center, others[i])
+            assert np.allclose(a_mat[i], a)
+            assert b_vec[i] == pytest.approx(b)
+
+    def test_vectorised_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bisectors_from_points([0.5], np.array([0.1]))
+
+
+class TestBoxHalfspaceTests:
+    def test_box_inside(self):
+        box = MBR([0.0, 0.0], [0.3, 0.3])
+        # Half-space x0 + x1 <= 1 contains the box.
+        assert box_inside_halfspace(box, np.array([1.0, 1.0]), 1.0)
+        # x0 + x1 <= 0.5 cuts it (corner (0.3, 0.3) violates).
+        assert not box_inside_halfspace(box, np.array([1.0, 1.0]), 0.5)
+
+    def test_box_intersects(self):
+        box = MBR([0.5, 0.5], [1.0, 1.0])
+        # x0 <= 0.6 includes a slab of the box.
+        assert box_intersects_halfspace(box, np.array([1.0, 0.0]), 0.6)
+        # x0 <= 0.4 misses it entirely.
+        assert not box_intersects_halfspace(box, np.array([1.0, 0.0]), 0.4)
+
+    def test_negative_coefficients(self):
+        box = MBR([0.0], [1.0])
+        # -x0 <= -0.5 means x0 >= 0.5: intersects but not contains.
+        a = np.array([-1.0])
+        assert box_intersects_halfspace(box, a, -0.5)
+        assert not box_inside_halfspace(box, a, -0.5)
+
+
+class TestHalfspaceSystem:
+    def make_cell(self, rng, n=12, dim=3, center_idx=0):
+        pts = rng.uniform(size=(n, dim))
+        others = np.delete(pts, center_idx, axis=0)
+        ids = np.delete(np.arange(n), center_idx)
+        system = HalfspaceSystem.nn_cell(
+            pts[center_idx], others, MBR.unit_cube(dim), point_ids=ids
+        )
+        return pts, system
+
+    def test_center_is_member(self, rng):
+        pts, system = self.make_cell(rng)
+        assert system.contains(pts[0])
+        assert system.violations(pts[0]) == 0
+
+    def test_contains_matches_nn_semantics(self, rng):
+        pts, system = self.make_cell(rng)
+        for __ in range(200):
+            x = rng.uniform(size=3)
+            dists = np.linalg.norm(pts - x, axis=1)
+            is_nn = int(np.argmin(dists)) == 0
+            if abs(np.sort(dists)[0] - np.sort(dists)[1]) < 1e-9:
+                continue  # skip ties
+            assert system.contains(x) == is_nn
+
+    def test_empty_system_is_whole_box(self):
+        system = HalfspaceSystem.empty(MBR.unit_cube(2))
+        assert system.n_constraints == 0
+        assert system.contains([0.5, 0.5])
+        assert not system.contains([1.5, 0.5])
+
+    def test_with_constraint_appends(self, rng):
+        pts, system = self.make_cell(rng)
+        a = np.array([1.0, 0.0, 0.0])
+        bigger = system.with_constraint(a, 0.9, point_id=99)
+        assert bigger.n_constraints == system.n_constraints + 1
+        assert bigger.references(99)
+        assert not system.references(99)
+
+    def test_without_point_removes_rows(self, rng):
+        pts, system = self.make_cell(rng)
+        reduced = system.without_point(3)
+        assert reduced.n_constraints == system.n_constraints - 1
+        assert not reduced.references(3)
+
+    def test_clipped_to(self, rng):
+        pts, system = self.make_cell(rng)
+        clip = MBR([0.0, 0.0, 0.0], [0.5, 0.5, 0.5])
+        clipped = system.clipped_to(clip)
+        assert clipped.n_constraints == system.n_constraints
+        assert clipped.box.high[0] == 0.5
+
+    def test_clipped_to_disjoint_raises(self, rng):
+        pts, system = self.make_cell(rng)
+        with pytest.raises(ValueError):
+            system.clipped_to(MBR([2.0, 2.0, 2.0], [3.0, 3.0, 3.0]))
+
+    def test_reduced_to_box_preserves_membership(self, rng):
+        """Within the clip box, the reduced system accepts exactly the
+        same points as the full one."""
+        pts, system = self.make_cell(rng, n=25)
+        clip = MBR(pts[0] - 0.2, pts[0] + 0.2).intersection(system.box)
+        reduced = system.reduced_to_box(clip)
+        assert reduced.n_constraints <= system.n_constraints
+        for __ in range(300):
+            x = rng.uniform(clip.low, clip.high)
+            assert reduced.contains(x) == system.contains(x)
+
+    def test_reduced_to_box_drops_far_constraints(self, rng):
+        pts = np.array([[0.5, 0.5], [0.52, 0.5], [0.9, 0.9]])
+        system = HalfspaceSystem.nn_cell(
+            pts[0], pts[1:], MBR.unit_cube(2), point_ids=np.array([1, 2])
+        )
+        tiny = MBR([0.49, 0.49], [0.515, 0.51])
+        reduced = system.reduced_to_box(tiny)
+        # The bisector with the far point (0.9, 0.9) cannot cut the tiny
+        # box; the one with the close point must stay.
+        assert reduced.n_constraints == 1
+        assert reduced.point_ids[0] == 1
+
+    def test_distances_to_planes_are_half_point_distances(self, rng):
+        pts, system = self.make_cell(rng)
+        dist = system.distances_to_planes(pts[0])
+        point_dist = np.linalg.norm(pts[1:] - pts[0], axis=1)
+        assert np.allclose(dist, point_dist / 2.0)
+
+    def test_validation_errors(self):
+        box = MBR.unit_cube(2)
+        with pytest.raises(ValueError):
+            HalfspaceSystem(np.zeros(3), np.zeros(3), box)  # A not 2-d
+        with pytest.raises(ValueError):
+            HalfspaceSystem(np.zeros((2, 2)), np.zeros(3), box)
+        with pytest.raises(ValueError):
+            HalfspaceSystem(np.zeros((2, 3)), np.zeros(2), box)
+        with pytest.raises(ValueError):
+            HalfspaceSystem(
+                np.zeros((2, 2)), np.zeros(2), box, point_ids=np.zeros(3)
+            )
+
+    def test_repr(self, rng):
+        __, system = self.make_cell(rng)
+        assert "n_constraints=11" in repr(system)

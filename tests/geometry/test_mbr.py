@@ -1,0 +1,257 @@
+"""Unit tests for the MBR rectangle algebra."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import (
+    MBR,
+    contains_point_arrays,
+    intersect_arrays,
+    mbr_of_points,
+    overlap_volume_arrays,
+    total_pairwise_overlap,
+    union_all,
+)
+
+
+class TestConstruction:
+    def test_basic_bounds(self):
+        rect = MBR([0.0, 0.1], [0.5, 0.9])
+        assert rect.dim == 2
+        assert np.allclose(rect.extents, [0.5, 0.8])
+        assert np.allclose(rect.center, [0.25, 0.5])
+
+    def test_rejects_low_above_high(self):
+        with pytest.raises(ValueError):
+            MBR([0.5], [0.2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MBR([0.0, 0.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBR([], [])
+
+    def test_rejects_matrix_bounds(self):
+        with pytest.raises(ValueError):
+            MBR(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_from_point_is_degenerate(self):
+        rect = MBR.from_point([0.3, 0.4, 0.5])
+        assert rect.volume() == 0.0
+        assert rect.is_degenerate()
+        assert rect.contains_point([0.3, 0.4, 0.5])
+
+    def test_unit_cube(self):
+        cube = MBR.unit_cube(5)
+        assert cube.volume() == pytest.approx(1.0)
+        assert cube.margin() == pytest.approx(5.0)
+
+    def test_unit_cube_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            MBR.unit_cube(0)
+
+    def test_bounds_are_immutable(self):
+        rect = MBR.unit_cube(2)
+        with pytest.raises(ValueError):
+            rect.low[0] = 0.5
+
+    def test_tiny_negative_extent_clamped(self):
+        rect = MBR([0.5], [0.5 - 1e-15])
+        assert rect.extents[0] == 0.0
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        rect = MBR([0.0, 0.0], [1.0, 1.0])
+        assert rect.contains_point([0.0, 1.0])
+        assert not rect.contains_point([1.0001, 0.5])
+        assert rect.contains_point([1.0001, 0.5], atol=1e-3)
+
+    def test_contains_rect(self):
+        outer = MBR([0.0, 0.0], [1.0, 1.0])
+        inner = MBR([0.2, 0.2], [0.8, 0.8])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_intersects(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.4, 0.4], [1.0, 1.0])
+        c = MBR([0.6, 0.6], [1.0, 1.0])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        # Touching rectangles intersect.
+        d = MBR([0.5, 0.0], [1.0, 0.5])
+        assert a.intersects(d)
+
+    def test_intersects_sphere(self):
+        rect = MBR([0.0, 0.0], [1.0, 1.0])
+        assert rect.intersects_sphere([0.5, 0.5], 0.01)
+        assert rect.intersects_sphere([1.5, 0.5], 0.5)
+        assert not rect.intersects_sphere([1.5, 0.5], 0.49)
+        # Corner distance: sqrt(2*0.25) ~ 0.707.
+        assert rect.intersects_sphere([1.5, 1.5], 0.71)
+        assert not rect.intersects_sphere([1.5, 1.5], 0.70)
+
+
+class TestCombination:
+    def test_union(self):
+        a = MBR([0.0, 0.2], [0.4, 0.6])
+        b = MBR([0.3, 0.0], [0.9, 0.5])
+        u = a.union(b)
+        assert np.allclose(u.low, [0.0, 0.0])
+        assert np.allclose(u.high, [0.9, 0.6])
+
+    def test_union_point(self):
+        rect = MBR([0.2, 0.2], [0.4, 0.4]).union_point([0.9, 0.1])
+        assert np.allclose(rect.low, [0.2, 0.1])
+        assert np.allclose(rect.high, [0.9, 0.4])
+
+    def test_intersection(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.25, 0.25], [1.0, 1.0])
+        inter = a.intersection(b)
+        assert inter is not None
+        assert np.allclose(inter.low, [0.25, 0.25])
+        assert np.allclose(inter.high, [0.5, 0.5])
+
+    def test_intersection_disjoint_is_none(self):
+        a = MBR([0.0], [0.4])
+        b = MBR([0.6], [1.0])
+        assert a.intersection(b) is None
+
+    def test_overlap_volume(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.25, 0.25], [0.75, 0.75])
+        assert a.overlap_volume(b) == pytest.approx(0.0625)
+        c = MBR([0.9, 0.9], [1.0, 1.0])
+        assert a.overlap_volume(c) == 0.0
+
+    def test_enlargement(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.5, 0.5], [1.0, 1.0])
+        assert a.enlargement(b) == pytest.approx(1.0 - 0.25)
+        assert a.enlargement(a) == pytest.approx(0.0)
+
+    def test_split_at(self):
+        rect = MBR([0.0, 0.0], [1.0, 2.0])
+        lower, upper = rect.split_at(1, 0.5)
+        assert np.allclose(lower.high, [1.0, 0.5])
+        assert np.allclose(upper.low, [0.0, 0.5])
+        assert lower.volume() + upper.volume() == pytest.approx(rect.volume())
+
+    def test_split_at_clamps_value(self):
+        rect = MBR([0.0], [1.0])
+        lower, upper = rect.split_at(0, 5.0)
+        assert lower.volume() == pytest.approx(1.0)
+        assert upper.volume() == pytest.approx(0.0)
+
+    def test_split_at_bad_dim(self):
+        with pytest.raises(IndexError):
+            MBR([0.0], [1.0]).split_at(3, 0.5)
+
+
+class TestGridCell:
+    def test_partition_covers_rect(self):
+        rect = MBR([0.0, 0.0], [1.0, 2.0])
+        counts = [2, 3]
+        total = 0.0
+        for i in range(2):
+            for j in range(3):
+                cell = rect.grid_cell(counts, [i, j])
+                total += cell.volume()
+        assert total == pytest.approx(rect.volume())
+
+    def test_last_cell_reaches_boundary(self):
+        rect = MBR([0.0], [1.0])
+        cell = rect.grid_cell([3], [2])
+        assert cell.high[0] == rect.high[0]
+
+    def test_rejects_bad_index(self):
+        rect = MBR([0.0], [1.0])
+        with pytest.raises(ValueError):
+            rect.grid_cell([2], [2])
+        with pytest.raises(ValueError):
+            rect.grid_cell([0], [0])
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = MBR([0.0, 0.1], [0.5, 0.9])
+        b = MBR([0.0, 0.1], [0.5, 0.9])
+        c = MBR([0.0, 0.1], [0.5, 0.8])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not an mbr"
+
+    def test_approx_equal(self):
+        a = MBR([0.0], [1.0])
+        b = MBR([1e-12], [1.0 - 1e-12])
+        assert a.approx_equal(b)
+        assert not a.approx_equal(MBR([0.1], [1.0]))
+
+    def test_repr_mentions_bounds(self):
+        assert "low" in repr(MBR([0.0], [1.0]))
+
+    def test_as_array_copies(self):
+        rect = MBR([0.0], [1.0])
+        arr = rect.as_array()
+        arr[0, 0] = 99.0
+        assert rect.low[0] == 0.0
+
+
+class TestFreeFunctions:
+    def test_mbr_of_points(self, rng):
+        pts = rng.uniform(size=(30, 3))
+        rect = mbr_of_points(pts)
+        assert np.allclose(rect.low, pts.min(axis=0))
+        assert np.allclose(rect.high, pts.max(axis=0))
+
+    def test_mbr_of_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mbr_of_points(np.zeros((0, 2)))
+
+    def test_union_all(self):
+        rects = [MBR([i / 10, 0.0], [i / 10 + 0.1, 0.5]) for i in range(5)]
+        u = union_all(rects)
+        assert np.allclose(u.low, [0.0, 0.0])
+        assert np.allclose(u.high, [0.5, 0.5])
+
+    def test_union_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+    def test_intersect_arrays_matches_scalar(self, rng):
+        lows = rng.uniform(0.0, 0.5, size=(20, 3))
+        highs = lows + rng.uniform(0.0, 0.5, size=(20, 3))
+        probe = MBR([0.3, 0.3, 0.3], [0.6, 0.6, 0.6])
+        mask = intersect_arrays(lows, highs, probe)
+        for i in range(20):
+            assert mask[i] == MBR(lows[i], highs[i]).intersects(probe)
+
+    def test_contains_point_arrays_matches_scalar(self, rng):
+        lows = rng.uniform(0.0, 0.5, size=(20, 3))
+        highs = lows + rng.uniform(0.0, 0.5, size=(20, 3))
+        q = rng.uniform(size=3)
+        mask = contains_point_arrays(lows, highs, q)
+        for i in range(20):
+            assert mask[i] == MBR(lows[i], highs[i]).contains_point(q)
+
+    def test_overlap_volume_arrays_matches_scalar(self, rng):
+        lows = rng.uniform(0.0, 0.5, size=(20, 3))
+        highs = lows + rng.uniform(0.0, 0.5, size=(20, 3))
+        probe = MBR([0.2] * 3, [0.7] * 3)
+        vols = overlap_volume_arrays(lows, highs, probe)
+        for i in range(20):
+            assert vols[i] == pytest.approx(
+                MBR(lows[i], highs[i]).overlap_volume(probe)
+            )
+
+    def test_total_pairwise_overlap(self):
+        a = MBR([0.0, 0.0], [0.5, 0.5])
+        b = MBR([0.25, 0.25], [0.75, 0.75])
+        c = MBR([0.9, 0.9], [1.0, 1.0])
+        assert total_pairwise_overlap([a, b, c]) == pytest.approx(0.0625)
+        assert total_pairwise_overlap([a]) == 0.0

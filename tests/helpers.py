@@ -1,0 +1,19 @@
+"""Shared reference implementations for tests (brute-force baselines)."""
+
+import numpy as np
+
+
+def brute_nearest(query, points):
+    """Reference nearest neighbor: (index, distance)."""
+    diffs = np.asarray(points) - np.asarray(query)
+    dist_sq = np.einsum("ij,ij->i", diffs, diffs)
+    idx = int(np.argmin(dist_sq))
+    return idx, float(np.sqrt(dist_sq[idx]))
+
+
+def brute_k_nearest(query, points, k):
+    """Reference k-NN: (indices, distances) sorted ascending."""
+    diffs = np.asarray(points) - np.asarray(query)
+    dist = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+    order = np.argsort(dist)[:k]
+    return order, dist[order]

@@ -1,0 +1,119 @@
+"""Soak/stress tests for the index layer under adversarial workloads."""
+
+import numpy as np
+import pytest
+
+from helpers import brute_nearest
+from repro.data import diagonal_points, grid_points, uniform_points
+from repro.index.bulk import bulk_load
+from repro.index.nnsearch import hs_k_nearest, rkv_nearest
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+
+class TestAdversarialDistributions:
+    def test_grid_data(self, rng):
+        """Perfectly regular data creates massive sort ties in splits."""
+        points = grid_points(5, 3)  # 125 points, many equal coordinates
+        tree = RStarTree(3, max_entries=8)
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.validate()
+        for __ in range(25):
+            q = rng.uniform(size=3)
+            __, true_dist = brute_nearest(q, points)
+            assert rkv_nearest(tree, q).nearest_distance == pytest.approx(
+                true_dist
+            )
+
+    def test_collinear_data(self, rng):
+        points = diagonal_points(200, 4, jitter=0.0)
+        tree = XTree(4, max_entries=8)
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.validate()
+        for __ in range(25):
+            q = rng.uniform(size=4)
+            __, true_dist = brute_nearest(q, points)
+            assert rkv_nearest(tree, q).nearest_distance == pytest.approx(
+                true_dist
+            )
+
+    def test_one_coordinate_constant(self, rng):
+        """Zero-extent dimension: volumes vanish, margins carry splits."""
+        points = uniform_points(200, 3, seed=241)
+        points[:, 1] = 0.5
+        tree = RStarTree(3, max_entries=8)
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.validate()
+        q = rng.uniform(size=3)
+        __, true_dist = brute_nearest(q, points)
+        assert rkv_nearest(tree, q).nearest_distance == pytest.approx(
+            true_dist
+        )
+
+    def test_heavy_duplicates_with_deletions(self):
+        """Many identical rectangles with interleaved deletes."""
+        tree = RStarTree(2, max_entries=6)
+        spot = np.array([0.5, 0.5])
+        for i in range(100):
+            tree.insert_point(spot, i)
+        for i in range(0, 100, 2):
+            assert tree.delete(spot, spot, i)
+        tree.validate()
+        assert len(tree) == 50
+        remaining = sorted(e for __, __, e in tree.iter_leaf_entries())
+        assert remaining == list(range(1, 100, 2))
+
+
+class TestChurn:
+    def test_insert_delete_churn_keeps_exactness(self, rng):
+        """Long alternating insert/delete churn at constant size."""
+        dim = 3
+        points = {i: rng.uniform(size=dim) for i in range(120)}
+        tree = RStarTree(dim, max_entries=8)
+        for i, p in points.items():
+            tree.insert_point(p, i)
+        next_id = 120
+        for step in range(300):
+            victim = int(rng.choice(list(points)))
+            assert tree.delete(points[victim], points[victim], victim)
+            del points[victim]
+            p = rng.uniform(size=dim)
+            tree.insert_point(p, next_id)
+            points[next_id] = p
+            next_id += 1
+            if step % 75 == 0:
+                tree.validate()
+        tree.validate()
+        live = np.stack(list(points.values()))
+        live_ids = list(points)
+        for __ in range(20):
+            q = rng.uniform(size=dim)
+            idx, true_dist = brute_nearest(q, live)
+            result = rkv_nearest(tree, q)
+            assert result.nearest_distance == pytest.approx(true_dist)
+            assert result.nearest_id in live_ids
+
+    def test_knn_consistency_through_growth(self, rng):
+        """k-NN answers remain sorted-consistent as the tree grows."""
+        dim = 4
+        tree = bulk_load(
+            RStarTree(dim), *(lambda p: (p, p))(uniform_points(64, dim,
+                                                               seed=242)),
+            np.arange(64),
+        )
+        all_points = [uniform_points(64, dim, seed=242)]
+        for batch in range(3):
+            extra = uniform_points(40, dim, seed=243 + batch)
+            base = sum(len(p) for p in all_points)
+            for i, p in enumerate(extra):
+                tree.insert_point(p, base + i)
+            all_points.append(extra)
+            stacked = np.vstack(all_points)
+            q = rng.uniform(size=dim)
+            result = hs_k_nearest(tree, q, 5)
+            dists = np.sort(np.linalg.norm(stacked - q, axis=1))[:5]
+            assert np.allclose(result.distances, dists)
+        tree.validate()

@@ -1,0 +1,67 @@
+"""Unit tests for the sequential-scan baseline."""
+
+import numpy as np
+import pytest
+
+from helpers import brute_k_nearest, brute_nearest
+from repro.data import uniform_points
+from repro.index.linear_scan import LinearScan
+
+
+class TestLinearScan:
+    def test_nearest_matches_bruteforce(self, rng):
+        points = uniform_points(200, 6, seed=9)
+        scan = LinearScan(points)
+        for __ in range(30):
+            q = rng.uniform(size=6)
+            result = scan.nearest(q)
+            true_id, true_dist = brute_nearest(q, points)
+            assert result.nearest_id == true_id
+            assert result.nearest_distance == pytest.approx(true_dist)
+
+    def test_k_nearest(self, rng):
+        points = uniform_points(150, 4, seed=10)
+        scan = LinearScan(points)
+        q = rng.uniform(size=4)
+        result = scan.k_nearest(q, 7)
+        ids, dists = brute_k_nearest(q, points, 7)
+        assert np.allclose(result.distances, dists)
+        assert result.ids == [int(i) for i in ids]
+
+    def test_k_must_be_positive(self):
+        scan = LinearScan(uniform_points(10, 2, seed=0))
+        with pytest.raises(ValueError):
+            scan.k_nearest([0.5, 0.5], 0)
+
+    def test_reads_every_page(self):
+        points = uniform_points(500, 8, seed=11)
+        scan = LinearScan(points)
+        result = scan.nearest(np.full(8, 0.5))
+        assert result.pages == scan.pages.n_pages
+        assert result.distance_computations == 500
+
+    def test_within_radius_matches_bruteforce(self, rng):
+        points = uniform_points(200, 3, seed=12)
+        scan = LinearScan(points)
+        c = rng.uniform(size=3)
+        r = 0.3
+        found = set(scan.within_radius(c, r).tolist())
+        brute = {
+            i for i, p in enumerate(points)
+            if np.linalg.norm(p - c) <= r + 1e-12
+        }
+        assert found == brute
+
+    def test_len(self):
+        scan = LinearScan(uniform_points(42, 2, seed=0))
+        assert len(scan) == 42
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinearScan(np.zeros((0, 3)))
+
+    def test_pagination_respects_page_size(self):
+        points = uniform_points(100, 8, seed=13)
+        scan = LinearScan(points, page_size=1024)
+        # 8-d points: 72 bytes each; (1024 - 32) / 72 = 13 per page.
+        assert scan.pages.n_pages == int(np.ceil(100 / 13))

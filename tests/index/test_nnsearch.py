@@ -1,0 +1,123 @@
+"""Unit tests for the RKV and HS nearest-neighbor algorithms."""
+
+import numpy as np
+import pytest
+
+from helpers import brute_k_nearest, brute_nearest
+from repro.data import clustered_points, uniform_points
+from repro.index.bulk import bulk_load
+from repro.index.nnsearch import NNResult, hs_k_nearest, hs_nearest, rkv_nearest
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+
+@pytest.fixture(params=["rstar", "xtree", "bulk"])
+def tree_and_points(request):
+    points = uniform_points(300, 5, seed=6)
+    if request.param == "rstar":
+        tree = RStarTree(5)
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+    elif request.param == "xtree":
+        tree = XTree(5)
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+    else:
+        tree = bulk_load(RStarTree(5), points, points, np.arange(300))
+    return tree, points
+
+
+class TestRKV:
+    def test_matches_bruteforce(self, tree_and_points, rng):
+        tree, points = tree_and_points
+        for __ in range(40):
+            q = rng.uniform(size=5)
+            result = rkv_nearest(tree, q)
+            true_id, true_dist = brute_nearest(q, points)
+            assert result.nearest_distance == pytest.approx(true_dist)
+            assert np.allclose(points[result.nearest_id], points[true_id])
+
+    def test_query_outside_space(self, tree_and_points):
+        tree, points = tree_and_points
+        q = np.full(5, 2.0)
+        result = rkv_nearest(tree, q)
+        __, true_dist = brute_nearest(q, points)
+        assert result.nearest_distance == pytest.approx(true_dist)
+
+    def test_counts_pages_and_distances(self, tree_and_points, rng):
+        tree, points = tree_and_points
+        result = rkv_nearest(tree, rng.uniform(size=5))
+        assert result.pages >= tree.height
+        assert result.distance_computations > 0
+
+    def test_empty_tree(self):
+        tree = RStarTree(2)
+        result = rkv_nearest(tree, [0.5, 0.5])
+        assert result.ids == []
+        with pytest.raises(ValueError):
+            result.nearest_id
+        with pytest.raises(ValueError):
+            result.nearest_distance
+
+    def test_single_point(self):
+        tree = RStarTree(2)
+        tree.insert_point([0.3, 0.3], 9)
+        result = rkv_nearest(tree, [0.9, 0.9])
+        assert result.nearest_id == 9
+
+    def test_query_on_data_point(self, tree_and_points):
+        tree, points = tree_and_points
+        result = rkv_nearest(tree, points[17])
+        assert result.nearest_distance == pytest.approx(0.0)
+
+
+class TestHS:
+    def test_matches_bruteforce(self, tree_and_points, rng):
+        tree, points = tree_and_points
+        for __ in range(40):
+            q = rng.uniform(size=5)
+            result = hs_nearest(tree, q)
+            __, true_dist = brute_nearest(q, points)
+            assert result.nearest_distance == pytest.approx(true_dist)
+
+    def test_k_nearest_matches_bruteforce(self, tree_and_points, rng):
+        tree, points = tree_and_points
+        for k in (1, 3, 10):
+            q = rng.uniform(size=5)
+            result = hs_k_nearest(tree, q, k)
+            __, true_dists = brute_k_nearest(q, points, k)
+            assert len(result.ids) == k
+            assert np.allclose(result.distances, true_dists)
+            # Result is sorted by distance.
+            assert result.distances == sorted(result.distances)
+
+    def test_k_larger_than_database(self):
+        points = uniform_points(5, 2, seed=7)
+        tree = bulk_load(RStarTree(2), points, points, np.arange(5))
+        result = hs_k_nearest(tree, [0.5, 0.5], 10)
+        assert len(result.ids) == 5
+
+    def test_k_must_be_positive(self, tree_and_points):
+        tree, __ = tree_and_points
+        with pytest.raises(ValueError):
+            hs_k_nearest(tree, np.full(5, 0.5), 0)
+
+    def test_hs_reads_no_more_pages_than_rkv(self, rng):
+        """HS is I/O-optimal: never worse than RKV on page reads."""
+        points = clustered_points(400, 6, seed=8)
+        tree = bulk_load(RStarTree(6), points, points, np.arange(400))
+        worse = 0
+        for __ in range(20):
+            q = rng.uniform(size=6)
+            hs_pages = hs_nearest(tree, q).pages
+            rkv_pages = rkv_nearest(tree, q).pages
+            if hs_pages > rkv_pages:
+                worse += 1
+        assert worse == 0
+
+
+class TestNNResult:
+    def test_accessors(self):
+        result = NNResult(ids=[3], distances=[0.5], pages=2)
+        assert result.nearest_id == 3
+        assert result.nearest_distance == 0.5

@@ -1,0 +1,107 @@
+"""Unit tests for the shared index node representation."""
+
+import numpy as np
+import pytest
+
+from repro.index.node import Node, entry_bytes
+
+
+def make_node(n=5, dim=3, is_leaf=True, seed=0):
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(0.0, 0.5, size=(n, dim))
+    highs = lows + rng.uniform(0.0, 0.5, size=(n, dim))
+    return Node(is_leaf, 0 if is_leaf else 1, lows, highs,
+                np.arange(n, dtype=np.int64))
+
+
+class TestConstruction:
+    def test_empty(self):
+        node = Node.empty(True, 0, 4)
+        assert node.n_entries == 0
+        assert node.dim == 4
+        assert node.is_leaf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Node(True, 0, np.zeros((2, 2)), np.zeros((3, 2)),
+                 np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Node(True, 0, np.zeros(2), np.zeros(2),
+                 np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Node(True, 0, np.zeros((2, 2)), np.zeros((2, 2)),
+                 np.zeros(3, dtype=np.int64))
+
+    def test_mbr(self):
+        node = make_node()
+        rect = node.mbr()
+        assert np.allclose(rect.low, node.lows.min(axis=0))
+        assert np.allclose(rect.high, node.highs.max(axis=0))
+
+    def test_mbr_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Node.empty(True, 0, 2).mbr()
+
+
+class TestManipulation:
+    def test_append(self):
+        node = make_node(n=3, dim=2)
+        node.append(np.array([0.1, 0.1]), np.array([0.2, 0.2]), 99)
+        assert node.n_entries == 4
+        assert node.ids[-1] == 99
+
+    def test_extend(self):
+        node = make_node(n=2, dim=2)
+        node.extend(np.zeros((3, 2)), np.ones((3, 2)), [7, 8, 9])
+        assert node.n_entries == 5
+        assert list(node.ids[-3:]) == [7, 8, 9]
+
+    def test_take_is_copy(self):
+        node = make_node(n=5)
+        sub = node.take([0, 2])
+        assert sub.n_entries == 2
+        sub.lows[0, 0] = 42.0
+        assert node.lows[0, 0] != 42.0
+
+    def test_remove_at(self):
+        node = make_node(n=4)
+        victim = int(node.ids[1])
+        node.remove_at(1)
+        assert node.n_entries == 3
+        assert victim not in node.ids
+
+    def test_replace_at(self):
+        node = make_node(n=3, dim=2)
+        node.replace_at(0, np.array([0.0, 0.0]), np.array([1.0, 1.0]), 55)
+        assert node.ids[0] == 55
+        assert np.allclose(node.highs[0], [1.0, 1.0])
+
+    def test_replace_at_out_of_range(self):
+        node = make_node(n=3)
+        with pytest.raises(IndexError):
+            node.replace_at(10, np.zeros(3), np.ones(3), 1)
+
+    def test_find_child(self):
+        node = make_node(n=4, is_leaf=False)
+        assert node.find_child(2) == 2
+        with pytest.raises(KeyError):
+            node.find_child(77)
+
+    def test_entries_iteration(self):
+        node = make_node(n=3)
+        rows = list(node.entries())
+        assert len(rows) == 3
+        low, high, eid = rows[1]
+        assert np.allclose(low, node.lows[1])
+        assert eid == int(node.ids[1])
+
+    def test_repr(self):
+        assert "leaf" in repr(make_node())
+        assert "dir" in repr(make_node(is_leaf=False))
+
+
+class TestEntryBytes:
+    def test_formula(self):
+        # Two float64 vectors plus an 8-byte id.
+        assert entry_bytes(8) == 2 * 8 * 8 + 8
+        assert entry_bytes(2, id_bytes=4) == 36

@@ -1,0 +1,127 @@
+"""Tests for the simulated parallel NN search ([Ber+ 97] baseline)."""
+
+import numpy as np
+import pytest
+
+from helpers import brute_nearest
+from repro.data import clustered_points, uniform_points
+from repro.index.bulk import bulk_load
+from repro.index.parallel import (
+    parallel_nearest,
+    proximity_declustering,
+    round_robin_declustering,
+)
+from repro.index.rstar import RStarTree
+
+
+@pytest.fixture(scope="module")
+def tree_and_points():
+    points = uniform_points(500, 5, seed=131)
+    tree = bulk_load(
+        RStarTree(5, leaf_entry_bytes=5 * 8 + 8), points, points,
+        np.arange(500),
+    )
+    return tree, points
+
+
+class TestDeclustering:
+    @pytest.mark.parametrize(
+        "strategy", [round_robin_declustering, proximity_declustering]
+    )
+    def test_assignment_covers_all_leaves(self, tree_and_points, strategy):
+        tree, __ = tree_and_points
+        assignment = strategy(tree, 4)
+        leaves = {
+            pid for pid, node in tree.iter_nodes() if node.is_leaf
+        }
+        assert set(assignment) == leaves
+        assert set(assignment.values()) <= set(range(4))
+
+    @pytest.mark.parametrize(
+        "strategy", [round_robin_declustering, proximity_declustering]
+    )
+    def test_balanced_loads(self, tree_and_points, strategy):
+        tree, __ = tree_and_points
+        assignment = strategy(tree, 4)
+        loads = [0, 0, 0, 0]
+        for disk in assignment.values():
+            loads[disk] += 1
+        assert max(loads) - min(loads) <= max(2, len(assignment) // 4)
+
+    def test_single_disk(self, tree_and_points):
+        tree, __ = tree_and_points
+        assignment = round_robin_declustering(tree, 1)
+        assert set(assignment.values()) == {0}
+
+    def test_rejects_bad_disk_count(self, tree_and_points):
+        tree, __ = tree_and_points
+        with pytest.raises(ValueError):
+            round_robin_declustering(tree, 0)
+        with pytest.raises(ValueError):
+            proximity_declustering(tree, 0)
+
+
+class TestParallelNearest:
+    @pytest.mark.parametrize("n_disks", [1, 2, 4, 8])
+    def test_exact_answers(self, tree_and_points, rng, n_disks):
+        tree, points = tree_and_points
+        assignment = proximity_declustering(tree, n_disks)
+        for __ in range(30):
+            q = rng.uniform(size=5)
+            result = parallel_nearest(tree, q, assignment, n_disks)
+            __, true_dist = brute_nearest(q, points)
+            assert result.nearest_distance == pytest.approx(true_dist)
+
+    def test_rounds_bounded_by_pages(self, tree_and_points, rng):
+        tree, __ = tree_and_points
+        assignment = proximity_declustering(tree, 4)
+        result = parallel_nearest(tree, rng.uniform(size=5), assignment, 4)
+        assert 1 <= result.rounds <= result.pages
+        assert result.speedup_over_serial() >= 1.0
+
+    def test_more_disks_never_more_rounds(self, rng):
+        """Parallelism helps: mean rounds are non-increasing in disks."""
+        points = clustered_points(600, 4, seed=132)
+        tree = bulk_load(
+            RStarTree(4, leaf_entry_bytes=4 * 8 + 8), points, points,
+            np.arange(600),
+        )
+        queries = rng.uniform(size=(25, 4))
+        mean_rounds = []
+        for n_disks in (1, 4, 16):
+            assignment = proximity_declustering(tree, n_disks)
+            rounds = [
+                parallel_nearest(tree, q, assignment, n_disks).rounds
+                for q in queries
+            ]
+            mean_rounds.append(float(np.mean(rounds)))
+        assert mean_rounds[0] >= mean_rounds[1] >= mean_rounds[2] - 1e-9
+
+    def test_single_disk_equals_serial_page_count(self, tree_and_points, rng):
+        tree, __ = tree_and_points
+        assignment = round_robin_declustering(tree, 1)
+        result = parallel_nearest(tree, rng.uniform(size=5), assignment, 1)
+        assert result.rounds == result.pages
+
+    def test_single_leaf_tree(self, rng):
+        points = uniform_points(10, 2, seed=133)
+        tree = bulk_load(RStarTree(2), points, points, np.arange(10))
+        assignment = round_robin_declustering(tree, 4)
+        result = parallel_nearest(tree, [0.5, 0.5], assignment, 4)
+        __, true_dist = brute_nearest([0.5, 0.5], points)
+        assert result.nearest_distance == pytest.approx(true_dist)
+
+    def test_rejects_bad_disks(self, tree_and_points):
+        tree, __ = tree_and_points
+        with pytest.raises(ValueError):
+            parallel_nearest(tree, np.full(5, 0.5), {}, 0)
+
+    def test_empty_result_accessors(self):
+        from repro.index.parallel import ParallelNNResult
+
+        empty = ParallelNNResult()
+        with pytest.raises(ValueError):
+            empty.nearest_id
+        with pytest.raises(ValueError):
+            empty.nearest_distance
+        assert empty.speedup_over_serial() == 1.0

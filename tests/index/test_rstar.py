@@ -1,0 +1,210 @@
+"""Unit and invariant tests for the R*-tree."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform_points
+from repro.index.rstar import RStarTree
+
+
+def build_tree(points, **kwargs):
+    tree = RStarTree(points.shape[1], **kwargs)
+    for i, p in enumerate(points):
+        tree.insert_point(p, i)
+    return tree
+
+
+class TestInsertion:
+    def test_empty_tree(self):
+        tree = RStarTree(3)
+        assert len(tree) == 0
+        assert tree.height == 1
+        tree.validate()
+
+    def test_single_insert(self):
+        tree = RStarTree(2)
+        tree.insert_point([0.5, 0.5], 7)
+        assert len(tree) == 1
+        assert list(tree.point_query([0.5, 0.5])) == [7]
+        tree.validate()
+
+    def test_grows_and_stays_valid(self):
+        points = uniform_points(300, 3, seed=1)
+        tree = build_tree(points)
+        assert len(tree) == 300
+        assert tree.height >= 2
+        tree.validate()
+
+    def test_insert_many(self):
+        points = uniform_points(50, 2, seed=2)
+        tree = RStarTree(2)
+        tree.insert_many(points, points, range(50))
+        assert len(tree) == 50
+        tree.validate()
+
+    def test_rejects_bad_entries(self):
+        tree = RStarTree(2)
+        with pytest.raises(ValueError):
+            tree.insert([0.1], [0.2], 0)  # wrong dim
+        with pytest.raises(ValueError):
+            tree.insert([0.5, 0.5], [0.1, 0.1], 0)  # low > high
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            RStarTree(0)
+
+    def test_duplicate_points_allowed(self):
+        tree = RStarTree(2)
+        for i in range(80):
+            tree.insert_point([0.5, 0.5], i)
+        assert len(tree) == 80
+        tree.validate()
+        assert len(tree.point_query([0.5, 0.5])) == 80
+
+    def test_rectangle_entries(self, rng):
+        tree = RStarTree(2)
+        lows = rng.uniform(0.0, 0.5, size=(150, 2))
+        highs = lows + rng.uniform(0.0, 0.4, size=(150, 2))
+        for i in range(150):
+            tree.insert(lows[i], highs[i], i)
+        tree.validate()
+        # Every inserted rectangle is found by a range query on itself.
+        for i in range(0, 150, 10):
+            found = tree.range_query(lows[i], highs[i])
+            assert i in found
+
+
+class TestQueries:
+    def setup_method(self):
+        self.points = uniform_points(250, 4, seed=3)
+        self.tree = build_tree(self.points)
+
+    def test_point_query_exact_match_only(self, rng):
+        for i in range(0, 250, 25):
+            hits = self.tree.point_query(self.points[i])
+            assert i in hits
+
+    def test_point_query_miss(self):
+        # A location not equal to any stored point returns nothing.
+        assert self.tree.point_query(np.full(4, 0.5)).size == 0
+
+    def test_range_query_matches_bruteforce(self, rng):
+        for __ in range(20):
+            low = rng.uniform(0.0, 0.6, size=4)
+            high = low + rng.uniform(0.1, 0.4, size=4)
+            found = set(self.tree.range_query(low, high).tolist())
+            brute = {
+                i for i, p in enumerate(self.points)
+                if np.all(p >= low) and np.all(p <= high)
+            }
+            assert found == brute
+
+    def test_sphere_query_matches_bruteforce(self, rng):
+        for __ in range(20):
+            c = rng.uniform(size=4)
+            r = float(rng.uniform(0.1, 0.5))
+            found = set(self.tree.sphere_query(c, r).tolist())
+            brute = {
+                i for i, p in enumerate(self.points)
+                if np.linalg.norm(p - c) <= r + 1e-12
+            }
+            assert found == brute
+
+    def test_leaves_containing(self, rng):
+        q = rng.uniform(size=4)
+        leaves = self.tree.leaves_containing(q)
+        for leaf in leaves:
+            assert leaf.is_leaf
+            assert leaf.mbr().contains_point(q, atol=1e-12)
+
+    def test_leaves_intersecting_sphere(self, rng):
+        c = rng.uniform(size=4)
+        leaves = self.tree.leaves_intersecting_sphere(c, 0.2)
+        for leaf in leaves:
+            assert leaf.mbr().intersects_sphere(c, 0.2)
+
+    def test_iter_leaf_entries_complete(self):
+        ids = sorted(eid for __, __, eid in self.tree.iter_leaf_entries())
+        assert ids == list(range(250))
+
+
+class TestDeletion:
+    def test_delete_returns_false_for_missing(self):
+        tree = build_tree(uniform_points(30, 2, seed=4))
+        assert not tree.delete([0.5, 0.5], [0.5, 0.5], 999)
+
+    def test_delete_all_points(self):
+        points = uniform_points(120, 3, seed=5)
+        tree = build_tree(points)
+        order = np.random.default_rng(0).permutation(120)
+        for count, i in enumerate(order):
+            assert tree.delete(points[i], points[i], int(i))
+            if count % 20 == 0:
+                tree.validate()
+        assert len(tree) == 0
+
+    def test_delete_then_query(self):
+        points = uniform_points(150, 3, seed=6)
+        tree = build_tree(points)
+        for i in range(0, 150, 2):
+            tree.delete(points[i], points[i], i)
+        tree.validate()
+        remaining = set(eid for __, __, eid in tree.iter_leaf_entries())
+        assert remaining == set(range(1, 150, 2))
+
+    def test_update_entry(self):
+        points = uniform_points(60, 2, seed=7)
+        tree = build_tree(points)
+        new_pos = np.array([0.123, 0.456])
+        tree.update_entry(points[5], points[5], new_pos, new_pos, 5)
+        tree.validate()
+        assert 5 in tree.point_query(new_pos)
+        assert 5 not in tree.point_query(points[5])
+
+    def test_update_missing_raises(self):
+        tree = build_tree(uniform_points(10, 2, seed=8))
+        with pytest.raises(KeyError):
+            tree.update_entry([0.9, 0.9], [0.9, 0.9], [0.1, 0.1],
+                              [0.1, 0.1], 999)
+
+    def test_root_shrinks_after_mass_deletion(self):
+        points = uniform_points(400, 2, seed=9)
+        tree = build_tree(points)
+        height_before = tree.height
+        for i in range(380):
+            tree.delete(points[i], points[i], i)
+        tree.validate()
+        assert tree.height <= height_before
+
+
+class TestStructure:
+    def test_fanout_derived_from_page_size(self):
+        tree = RStarTree(8, page_size=4096)
+        # entry = 2*8*8 + 8 = 136 bytes; (4096-32)/136 = 29.
+        assert tree.max_entries == 29
+        assert tree.min_entries == max(2, int(0.4 * 29))
+
+    def test_explicit_max_entries(self):
+        tree = RStarTree(2, max_entries=10)
+        assert tree.max_entries == 10
+
+    def test_small_max_entries_clamped(self):
+        tree = RStarTree(2, max_entries=2)
+        assert tree.max_entries >= 4
+
+    def test_page_accounting_grows_with_queries(self):
+        points = uniform_points(200, 4, seed=10)
+        tree = build_tree(points)
+        tree.pages.reset_stats()
+        tree.point_query(points[0])
+        assert tree.pages.stats.logical_reads >= tree.height
+
+    def test_validate_catches_corruption(self):
+        tree = build_tree(uniform_points(400, 2, seed=11))
+        root = tree._read(tree.root_id)
+        assert not root.is_leaf  # need a directory level to corrupt
+        # Corrupt a parent MBR so it no longer covers its child.
+        root.lows = root.lows + 0.25
+        tree._write(tree.root_id, root)
+        with pytest.raises(AssertionError):
+            tree.validate()

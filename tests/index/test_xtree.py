@@ -1,0 +1,128 @@
+"""Unit tests for the X-tree (supernodes, overlap-minimal splits)."""
+
+import numpy as np
+import pytest
+
+from repro.data import uniform_points
+from repro.index.rstar import RStarTree
+from repro.index.xtree import MAX_OVERLAP, XTree, _split_overlap_ratio
+from repro.index.node import Node
+
+
+def build_xtree(points, **kwargs):
+    tree = XTree(points.shape[1], **kwargs)
+    for i, p in enumerate(points):
+        tree.insert_point(p, i)
+    return tree
+
+
+class TestBasics:
+    def test_is_an_rstar_tree(self):
+        assert issubclass(XTree, RStarTree)
+
+    def test_insert_query_roundtrip(self):
+        points = uniform_points(300, 6, seed=1)
+        tree = build_xtree(points)
+        tree.validate()
+        for i in range(0, 300, 30):
+            assert i in tree.point_query(points[i])
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            XTree(2, max_overlap=1.5)
+
+    def test_default_threshold(self):
+        assert XTree(2).max_overlap == MAX_OVERLAP == 0.2
+
+
+class TestSupernodes:
+    def test_overlapping_rectangles_force_supernodes(self, rng):
+        """Heavily overlapping rectangle entries leave no good split, so
+        directory nodes must grow into supernodes."""
+        tree = XTree(4, max_overlap=0.0, max_entries=8)
+        for i in range(400):
+            low = rng.uniform(0.0, 0.2, size=4)
+            high = rng.uniform(0.8, 1.0, size=4)
+            tree.insert(low, high, i)
+        tree.validate()
+        stats = tree.supernode_stats()
+        assert stats["supernodes"] >= 1
+        assert stats["supernode_blocks"] > stats["supernodes"]
+
+    def test_supernode_reads_count_blocks(self, rng):
+        tree = XTree(4, max_overlap=0.0, max_entries=8)
+        for i in range(400):
+            low = rng.uniform(0.0, 0.2, size=4)
+            high = rng.uniform(0.8, 1.0, size=4)
+            tree.insert(low, high, i)
+        if tree.supernode_stats()["supernodes"] == 0:
+            pytest.skip("no supernode formed")
+        tree.pages.reset_stats()
+        tree.point_query(np.full(4, 0.5))
+        # A traversal that crosses a supernode reads multiple blocks.
+        assert tree.pages.stats.logical_reads > tree.height
+
+    def test_point_data_rarely_needs_supernodes(self):
+        points = uniform_points(500, 2, seed=3)
+        tree = build_xtree(points)
+        assert tree.supernode_stats()["supernodes"] == 0
+
+    def test_supernode_capacity_extends(self, rng):
+        tree = XTree(2, max_entries=8, max_overlap=0.0)
+        # Identical rectangles cannot be separated overlap-free.
+        for i in range(64):
+            tree.insert([0.4, 0.4], [0.6, 0.6], i)
+        tree.validate()  # capacity check honours supernode blocks
+
+
+class TestOverlapMinimalSplit:
+    def test_separable_dimension_found(self):
+        tree = XTree(2, max_entries=8)
+        node = Node(
+            False,
+            1,
+            np.array([[0.0, 0.0], [0.2, 0.0], [0.55, 0.0], [0.8, 0.0]]),
+            np.array([[0.1, 1.0], [0.5, 1.0], [0.7, 1.0], [1.0, 1.0]]),
+            np.arange(4, dtype=np.int64),
+        )
+        split = tree._overlap_minimal_split(node)
+        assert split is not None
+        g1, g2 = split
+        assert _split_overlap_ratio(g1, g2) == pytest.approx(0.0)
+
+    def test_inseparable_returns_none(self):
+        tree = XTree(2, max_entries=8)
+        lows = np.tile([0.1, 0.1], (6, 1))
+        highs = np.tile([0.9, 0.9], (6, 1))
+        node = Node(False, 1, lows, highs, np.arange(6, dtype=np.int64))
+        assert tree._overlap_minimal_split(node) is None
+
+    def test_split_overlap_ratio_degenerate_union(self):
+        a = Node(True, 0, np.zeros((2, 2)), np.zeros((2, 2)),
+                 np.arange(2, dtype=np.int64))
+        b = Node(True, 0, np.ones((2, 2)), np.ones((2, 2)),
+                 np.arange(2, dtype=np.int64))
+        assert _split_overlap_ratio(a, b) == 0.0
+
+
+class TestQueriesMatchRStar:
+    def test_same_answers_as_rstar(self, rng):
+        points = uniform_points(400, 5, seed=4)
+        xt = build_xtree(points)
+        rt = RStarTree(5)
+        for i, p in enumerate(points):
+            rt.insert_point(p, i)
+        for __ in range(20):
+            c = rng.uniform(size=5)
+            r = float(rng.uniform(0.1, 0.4))
+            assert set(xt.sphere_query(c, r).tolist()) == set(
+                rt.sphere_query(c, r).tolist()
+            )
+
+    def test_deletions_keep_validity(self):
+        points = uniform_points(300, 3, seed=5)
+        tree = build_xtree(points)
+        for i in range(0, 300, 3):
+            assert tree.delete(points[i], points[i], i)
+        tree.validate()
+        assert len(tree) == 200

@@ -1,0 +1,113 @@
+"""Unit tests for the LP front-end and backend agreement."""
+
+import numpy as np
+import pytest
+
+from repro.lp.interface import (
+    BACKENDS,
+    LPResult,
+    get_default_backend,
+    maximize,
+    minimize,
+    set_default_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    original = get_default_backend()
+    yield
+    set_default_backend(original)
+
+
+def random_feasible_problem(rng, d=4, m=10):
+    a = rng.normal(size=(m, d))
+    x0 = rng.uniform(0.2, 0.8, size=d)
+    b = a @ x0 + rng.uniform(0.0, 0.5, size=m)
+    c = rng.normal(size=d)
+    return c, a, b, np.zeros(d), np.ones(d)
+
+
+class TestBackends:
+    def test_backends_tuple(self):
+        assert set(BACKENDS) == {"auto", "simplex", "scipy"}
+
+    def test_default_backend_roundtrip(self):
+        set_default_backend("scipy")
+        assert get_default_backend() == "scipy"
+        set_default_backend("auto")
+        assert get_default_backend() == "auto"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_backend("cplex")
+        with pytest.raises(ValueError):
+            maximize(
+                np.ones(2), np.zeros((0, 2)), np.zeros(0),
+                np.zeros(2), np.ones(2), backend="cplex",
+            )
+
+    def test_simplex_scipy_agree_on_optimum(self, rng):
+        for __ in range(30):
+            c, a, b, lb, ub = random_feasible_problem(rng)
+            r1 = maximize(c, a, b, lb, ub, backend="simplex")
+            r2 = maximize(c, a, b, lb, ub, backend="scipy")
+            assert r1.is_optimal and r2.is_optimal
+            assert r1.objective == pytest.approx(r2.objective, abs=1e-7)
+
+    def test_simplex_scipy_agree_on_infeasible(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([0.2, -0.8])
+        for backend in ("simplex", "scipy"):
+            res = maximize(
+                np.array([1.0, 0.0]), a, b, np.zeros(2), np.ones(2),
+                backend=backend,
+            )
+            assert res.status == "infeasible"
+            assert res.x is None
+
+    def test_auto_dispatches_both_sizes(self, rng):
+        # Small problem (simplex path) and large problem (scipy path)
+        # must both work through "auto".
+        c, a, b, lb, ub = random_feasible_problem(rng, d=3, m=5)
+        assert maximize(c, a, b, lb, ub, backend="auto").is_optimal
+        c, a, b, lb, ub = random_feasible_problem(rng, d=3, m=120)
+        assert maximize(c, a, b, lb, ub, backend="auto").is_optimal
+
+
+class TestMinimize:
+    def test_minimize_is_negated_maximize(self, rng):
+        c, a, b, lb, ub = random_feasible_problem(rng)
+        mn = minimize(c, a, b, lb, ub, backend="simplex")
+        mx = maximize(-c, a, b, lb, ub, backend="simplex")
+        assert mn.is_optimal
+        assert mn.objective == pytest.approx(-mx.objective)
+
+    def test_minimize_propagates_infeasible(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([0.2, -0.8])
+        res = minimize(np.array([1.0]), a, b, np.zeros(1), np.ones(1))
+        assert res.status == "infeasible"
+
+    def test_minimize_axis_objective(self):
+        # min x0 subject to x0 + x1 >= 0.6 over unit box.
+        a = np.array([[-1.0, -1.0]])
+        b = np.array([-0.6])
+        res = minimize(np.array([1.0, 0.0]), a, b, np.zeros(2), np.ones(2))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(0.0)  # (0, 0.6) feasible
+
+
+class TestLPResult:
+    def test_flags(self):
+        ok = LPResult("optimal", np.zeros(1), 0.0)
+        bad = LPResult("infeasible", None, float("nan"))
+        assert ok.is_optimal
+        assert not bad.is_optimal
+
+    def test_scipy_result_within_bounds(self, rng):
+        for __ in range(10):
+            c, a, b, lb, ub = random_feasible_problem(rng)
+            res = maximize(c, a, b, lb, ub, backend="scipy")
+            assert np.all(res.x >= lb - 1e-9)
+            assert np.all(res.x <= ub + 1e-9)

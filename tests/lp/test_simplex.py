@@ -1,0 +1,141 @@
+"""Unit tests for the from-scratch two-phase simplex solver."""
+
+import numpy as np
+import pytest
+
+from repro.lp.simplex import SimplexResult, simplex_maximize
+
+
+def solve(c, a, b, lb=None, ub=None):
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    a = np.asarray(a, dtype=float).reshape(-1, n)
+    b = np.asarray(b, dtype=float)
+    lb = np.zeros(n) if lb is None else np.asarray(lb, dtype=float)
+    ub = np.ones(n) if ub is None else np.asarray(ub, dtype=float)
+    return simplex_maximize(c, a, b, lb, ub)
+
+
+class TestBasicProblems:
+    def test_box_only_maximum(self):
+        res = solve([1.0, 2.0], np.zeros((0, 2)), np.zeros(0))
+        assert res.is_optimal
+        assert res.objective == pytest.approx(3.0)
+        assert np.allclose(res.x, [1.0, 1.0])
+
+    def test_box_only_minimising_coordinate(self):
+        res = solve([-1.0, 0.0], np.zeros((0, 2)), np.zeros(0))
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(0.0)
+
+    def test_single_constraint(self):
+        # max x0 + x1 s.t. x0 + x1 <= 0.8 in the unit box
+        res = solve([1.0, 1.0], [[1.0, 1.0]], [0.8])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(0.8)
+
+    def test_shifted_lower_bounds(self):
+        # max x0 s.t. x0 + x1 <= 2 over [0.5, 1.5]^2
+        res = solve([1.0, 0.0], [[1.0, 1.0]], [2.0],
+                    lb=[0.5, 0.5], ub=[1.5, 1.5])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(1.5)
+
+    def test_negative_rhs_needs_phase_one(self):
+        # x0 >= 0.7 written as -x0 <= -0.7
+        res = solve([-1.0], [[-1.0]], [-0.7])
+        assert res.is_optimal
+        assert res.x[0] == pytest.approx(0.7)
+        assert res.objective == pytest.approx(-0.7)
+
+    def test_classic_lp(self):
+        # Textbook: max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18.
+        res = solve(
+            [3.0, 5.0],
+            [[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+            [4.0, 12.0, 18.0],
+            lb=[0.0, 0.0],
+            ub=[100.0, 100.0],
+        )
+        assert res.is_optimal
+        assert res.objective == pytest.approx(36.0)
+        assert np.allclose(res.x, [2.0, 6.0])
+
+
+class TestInfeasibility:
+    def test_contradictory_constraints(self):
+        res = solve([1.0], [[1.0], [-1.0]], [0.2, -0.8])
+        assert res.status == "infeasible"
+        assert res.x is None
+
+    def test_inverted_bounds(self):
+        res = solve([1.0], np.zeros((0, 1)), np.zeros(0),
+                    lb=[0.7], ub=[0.2])
+        assert res.status == "infeasible"
+
+    def test_zero_row_infeasible(self):
+        # 0 . x <= -1 can never hold.
+        res = solve([1.0, 0.0], [[0.0, 0.0]], [-1.0])
+        assert res.status == "infeasible"
+
+    def test_zero_row_vacuous(self):
+        res = solve([1.0, 0.0], [[0.0, 0.0]], [0.5])
+        assert res.is_optimal
+        assert res.objective == pytest.approx(1.0)
+
+
+class TestUnboundedness:
+    def test_unbounded_with_infinite_bound(self):
+        res = simplex_maximize(
+            np.array([1.0]),
+            np.zeros((0, 1)),
+            np.zeros(0),
+            np.array([0.0]),
+            np.array([np.inf]),
+        )
+        assert res.status == "unbounded"
+
+    def test_infinite_bound_but_constrained(self):
+        res = simplex_maximize(
+            np.array([1.0]),
+            np.array([[1.0]]),
+            np.array([5.0]),
+            np.array([0.0]),
+            np.array([np.inf]),
+        )
+        assert res.is_optimal
+        assert res.objective == pytest.approx(5.0)
+
+
+class TestDegenerateCases:
+    def test_redundant_duplicate_constraints(self):
+        res = solve([1.0, 0.0], [[1.0, 0.0]] * 5, [0.5] * 5)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(0.5)
+
+    def test_binding_at_vertex_with_many_ties(self):
+        # Heavily degenerate vertex at the origin corner.
+        a = [[1.0, 1.0], [1.0, 2.0], [2.0, 1.0], [1.0, 0.0], [0.0, 1.0]]
+        b = [0.0, 0.0, 0.0, 0.0, 0.0]
+        res = solve([1.0, 1.0], a, b)
+        assert res.is_optimal
+        assert res.objective == pytest.approx(0.0)
+
+    def test_solution_within_bounds(self, rng):
+        for __ in range(50):
+            d = int(rng.integers(2, 6))
+            m = int(rng.integers(1, 15))
+            a = rng.normal(size=(m, d))
+            x0 = rng.uniform(0.2, 0.8, size=d)
+            b = a @ x0 + rng.uniform(0.0, 0.5, size=m)
+            c = rng.normal(size=d)
+            res = solve(c, a, b, lb=np.zeros(d), ub=np.ones(d))
+            assert res.is_optimal
+            assert np.all(res.x >= -1e-9) and np.all(res.x <= 1.0 + 1e-9)
+            assert np.all(a @ res.x <= b + 1e-7)
+
+    def test_result_flags(self):
+        res = solve([1.0], np.zeros((0, 1)), np.zeros(0))
+        assert isinstance(res, SimplexResult)
+        assert res.is_optimal
+        assert res.iterations >= 0

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.distance import (
+    maxdist_sq,
+    mindist_sq,
+    minmaxdist_sq,
+)
+from repro.geometry.halfspace import bisector
+from repro.geometry.mbr import MBR
+
+
+def rects(dim):
+    """Strategy producing valid MBRs in [-1, 2]^dim."""
+    coords = hnp.arrays(
+        np.float64,
+        (2, dim),
+        elements=st.floats(-1.0, 2.0, allow_nan=False),
+    )
+    return coords.map(
+        lambda a: MBR(np.minimum(a[0], a[1]), np.maximum(a[0], a[1]))
+    )
+
+
+def points(dim):
+    return hnp.arrays(
+        np.float64, (dim,), elements=st.floats(-1.0, 2.0, allow_nan=False)
+    )
+
+
+DIM = 3
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=rects(DIM), b=rects(DIM))
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains(a, atol=1e-12)
+    assert u.contains(b, atol=1e-12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=rects(DIM), b=rects(DIM))
+def test_overlap_symmetric_and_bounded(a, b):
+    ov = a.overlap_volume(b)
+    assert ov == b.overlap_volume(a)
+    assert 0.0 <= ov <= min(a.volume(), b.volume()) + 1e-12
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=rects(DIM), b=rects(DIM))
+def test_intersection_consistent_with_predicates(a, b):
+    inter = a.intersection(b)
+    if inter is None:
+        assert not a.intersects(b) or a.overlap_volume(b) == 0.0
+    else:
+        assert a.intersects(b)
+        assert a.contains(inter, atol=1e-12)
+        assert b.contains(inter, atol=1e-12)
+        assert inter.volume() <= min(a.volume(), b.volume()) + 1e-12
+
+
+@settings(max_examples=150, deadline=None)
+@given(rect=rects(DIM), q=points(DIM))
+def test_distance_bound_ordering(rect, q):
+    mind = mindist_sq(q, rect.low, rect.high)
+    minmax = minmaxdist_sq(q, rect.low, rect.high)
+    maxd = maxdist_sq(q, rect.low, rect.high)
+    assert mind <= minmax + 1e-9
+    assert minmax <= maxd + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(rect=rects(DIM), q=points(DIM))
+def test_mindist_zero_iff_inside(rect, q):
+    inside = rect.contains_point(q)
+    mind = mindist_sq(q, rect.low, rect.high)
+    outside_gap = float(
+        np.max(np.clip(np.maximum(rect.low - q, q - rect.high), 0.0, None))
+    )
+    if inside:
+        assert mind == 0.0
+    elif outside_gap > 1e-6:  # clearly outside: beyond fp underflow range
+        assert mind > 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(p=points(DIM), q=points(DIM), x=points(DIM))
+def test_bisector_matches_distance_comparison(p, q, x):
+    a, b = bisector(p, q)
+    lhs = float(a @ x)
+    closer_to_p = np.sum((x - p) ** 2) <= np.sum((x - q) ** 2) + 1e-9
+    if lhs < b - 1e-9:
+        assert closer_to_p
+    if lhs > b + 1e-9:
+        assert not closer_to_p
+
+
+@settings(max_examples=100, deadline=None)
+@given(rect=rects(DIM), data=st.data())
+def test_split_preserves_volume(rect, data):
+    dim = data.draw(st.integers(0, DIM - 1))
+    frac = data.draw(st.floats(0.0, 1.0))
+    value = rect.low[dim] + frac * (rect.high[dim] - rect.low[dim])
+    lower, upper = rect.split_at(dim, value)
+    assert lower.volume() + upper.volume() <= rect.volume() + 1e-9
+    assert rect.contains(lower, atol=1e-12)
+    assert rect.contains(upper, atol=1e-12)

@@ -1,0 +1,89 @@
+"""Property-based tests for the index substrate.
+
+Random insert/delete/query interleavings on the R*-tree and X-tree must
+preserve structural invariants and query equivalence with brute force.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bulk import bulk_load
+from repro.index.nnsearch import hs_nearest, rkv_nearest
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+
+@st.composite
+def point_sets(draw, max_points=120):
+    n = draw(st.integers(5, max_points))
+    dim = draw(st.integers(2, 5))
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=(n, dim))
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=point_sets(), tree_kind=st.sampled_from(["rstar", "xtree"]))
+def test_insertion_preserves_invariants_and_nn(points, tree_kind):
+    cls = RStarTree if tree_kind == "rstar" else XTree
+    tree = cls(points.shape[1], max_entries=8)
+    for i, p in enumerate(points):
+        tree.insert_point(p, i)
+    tree.validate()
+    rng = np.random.default_rng(0)
+    for __ in range(5):
+        q = rng.uniform(size=points.shape[1])
+        dist = np.min(np.linalg.norm(points - q, axis=1))
+        assert abs(rkv_nearest(tree, q).nearest_distance - dist) < 1e-9
+        assert abs(hs_nearest(tree, q).nearest_distance - dist) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(points=point_sets(max_points=80), data=st.data())
+def test_random_deletions_keep_answers_exact(points, data):
+    n, dim = points.shape
+    tree = bulk_load(RStarTree(dim, max_entries=8), points, points,
+                     np.arange(n))
+    n_delete = data.draw(st.integers(0, n - 1))
+    victims = data.draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=n_delete,
+            max_size=n_delete,
+            unique=True,
+        )
+    )
+    for v in victims:
+        assert tree.delete(points[v], points[v], v)
+    tree.validate()
+    alive = np.asarray(sorted(set(range(n)) - set(victims)))
+    rng = np.random.default_rng(1)
+    for __ in range(5):
+        q = rng.uniform(size=dim)
+        dist = np.min(np.linalg.norm(points[alive] - q, axis=1))
+        assert abs(rkv_nearest(tree, q).nearest_distance - dist) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=point_sets(max_points=100), data=st.data())
+def test_range_queries_exact_after_bulk_load(points, data):
+    n, dim = points.shape
+    tree = bulk_load(RStarTree(dim, max_entries=8), points, points,
+                     np.arange(n))
+    low = np.asarray(
+        data.draw(
+            st.lists(st.floats(0.0, 0.8), min_size=dim, max_size=dim)
+        )
+    )
+    high = low + np.asarray(
+        data.draw(
+            st.lists(st.floats(0.0, 0.5), min_size=dim, max_size=dim)
+        )
+    )
+    found = set(tree.range_query(low, high).tolist())
+    brute = {
+        i for i, p in enumerate(points)
+        if np.all(p >= low) and np.all(p <= high)
+    }
+    assert found == brute

@@ -1,0 +1,63 @@
+"""Property-based tests for the weighted-metric extension."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighted import WeightedNNCellIndex, weighted_distances
+from repro.geometry.halfspace import bisectors_from_points
+
+
+@st.composite
+def weighted_worlds(draw):
+    dim = draw(st.integers(2, 4))
+    n = draw(st.integers(3, 25))
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(size=(n, dim))
+    weights = np.asarray(
+        draw(
+            st.lists(
+                st.floats(0.05, 20.0),
+                min_size=dim,
+                max_size=dim,
+            )
+        )
+    )
+    return points, weights
+
+
+@settings(max_examples=15, deadline=None)
+@given(world=weighted_worlds(), max_constraints=st.sampled_from([None, 6]))
+def test_weighted_index_always_exact(world, max_constraints):
+    points, weights = world
+    index = WeightedNNCellIndex(
+        points, weights, max_constraints=max_constraints
+    )
+    rng = np.random.default_rng(5)
+    for __ in range(8):
+        q = rng.uniform(size=points.shape[1])
+        pid, dist = index.nearest(q)
+        true = np.sqrt(weighted_distances(q, points, weights))
+        assert abs(dist - float(true.min())) < 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(world=weighted_worlds())
+def test_weighted_bisector_separates_correctly(world):
+    points, weights = world
+    p, q = points[0], points[1]
+    if np.allclose(p, q):
+        return
+    a, b = bisectors_from_points(p, q[None, :], weights=weights)
+    rng = np.random.default_rng(6)
+    for __ in range(20):
+        x = rng.uniform(size=points.shape[1])
+        lhs = float(a[0] @ x)
+        closer = float(weights @ (x - p) ** 2) <= float(
+            weights @ (x - q) ** 2
+        )
+        if lhs < b[0] - 1e-9:
+            assert closer
+        elif lhs > b[0] + 1e-9:
+            assert not closer

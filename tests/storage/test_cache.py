@@ -1,0 +1,81 @@
+"""Unit tests for the block-weighted LRU buffer pool."""
+
+import pytest
+
+from repro.storage.cache import LRUCache
+
+
+class TestBasics:
+    def test_hit_and_miss(self):
+        cache = LRUCache(4)
+        assert not cache.touch(1)
+        cache.put(1, "a")
+        assert cache.touch(1)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_len_and_used_blocks(self):
+        cache = LRUCache(10)
+        cache.put(1, "a", n_blocks=3)
+        cache.put(2, "b", n_blocks=2)
+        assert len(cache) == 2
+        assert cache.used_blocks == 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_rejects_bad_blocks(self):
+        cache = LRUCache(4)
+        with pytest.raises(ValueError):
+            cache.put(1, "a", n_blocks=0)
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.touch(1)       # 2 becomes LRU
+        cache.put(3, "c")    # evicts 2
+        assert cache.touch(1)
+        assert not cache.touch(2)
+        assert cache.touch(3)
+
+    def test_block_weighted_eviction(self):
+        cache = LRUCache(4)
+        cache.put(1, "a", n_blocks=2)
+        cache.put(2, "b", n_blocks=2)
+        cache.put(3, "c", n_blocks=2)  # must evict 1
+        assert not cache.touch(1)
+        assert cache.used_blocks <= 4
+
+    def test_oversized_entry_admitted_alone(self):
+        cache = LRUCache(2)
+        cache.put(1, "a")
+        cache.put(2, "huge", n_blocks=10)
+        # Entry 2 is present even though it exceeds capacity on its own.
+        assert cache.touch(2)
+        assert len(cache) == 1
+
+    def test_reput_updates_size(self):
+        cache = LRUCache(6)
+        cache.put(1, "a", n_blocks=2)
+        cache.put(1, "a2", n_blocks=4)
+        assert cache.used_blocks == 4
+        assert len(cache) == 1
+
+    def test_explicit_evict(self):
+        cache = LRUCache(4)
+        cache.put(1, "a", n_blocks=2)
+        cache.evict(1)
+        assert cache.used_blocks == 0
+        cache.evict(1)  # idempotent
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_blocks == 0

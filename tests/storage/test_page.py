@@ -1,0 +1,148 @@
+"""Unit tests for the paged storage manager."""
+
+import pytest
+
+from repro.storage.page import DEFAULT_PAGE_SIZE, AccessStats, PageManager
+
+
+class TestPageLifecycle:
+    def test_allocate_read_write(self):
+        pm = PageManager()
+        pid = pm.allocate({"k": 1})
+        assert pm.read(pid) == {"k": 1}
+        pm.write(pid, {"k": 2})
+        assert pm.read(pid) == {"k": 2}
+        assert pm.n_pages == 1
+
+    def test_free(self):
+        pm = PageManager()
+        pid = pm.allocate("x")
+        pm.free(pid)
+        assert pm.n_pages == 0
+        with pytest.raises(KeyError):
+            pm.read(pid)
+        with pytest.raises(KeyError):
+            pm.free(pid)
+
+    def test_unique_ids(self):
+        pm = PageManager()
+        ids = {pm.allocate(i) for i in range(100)}
+        assert len(ids) == 100
+
+    def test_missing_page_errors(self):
+        pm = PageManager()
+        with pytest.raises(KeyError):
+            pm.read(42)
+        with pytest.raises(KeyError):
+            pm.write(42, "x")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PageManager(page_size=0)
+        with pytest.raises(ValueError):
+            PageManager(cache_pages=-1)
+        pm = PageManager()
+        with pytest.raises(ValueError):
+            pm.allocate("x", n_blocks=0)
+
+
+class TestAccounting:
+    def test_reads_and_writes_counted(self):
+        pm = PageManager()
+        pid = pm.allocate("a")  # 1 write
+        pm.read(pid)
+        pm.read(pid)
+        pm.write(pid, "b")  # another write
+        assert pm.stats.logical_reads == 2
+        assert pm.stats.physical_reads == 2  # no cache configured
+        assert pm.stats.logical_writes == 2
+
+    def test_supernode_counts_blocks(self):
+        pm = PageManager()
+        pid = pm.allocate("big", n_blocks=3)
+        assert pm.stats.logical_writes == 3
+        pm.read(pid)
+        assert pm.stats.logical_reads == 3
+        assert pm.n_blocks_of(pid) == 3
+        pm.write(pid, "bigger", n_blocks=4)
+        assert pm.n_blocks_of(pid) == 4
+        assert pm.total_blocks() == 4
+
+    def test_snapshot_and_delta(self):
+        pm = PageManager()
+        pid = pm.allocate("a")
+        before = pm.stats.snapshot()
+        pm.read(pid)
+        pm.read(pid)
+        delta = pm.stats.delta_since(before)
+        assert delta.logical_reads == 2
+        assert delta.logical_writes == 0
+
+    def test_reset(self):
+        pm = PageManager()
+        pid = pm.allocate("a")
+        pm.read(pid)
+        pm.reset_stats()
+        assert pm.stats.logical_reads == 0
+        assert pm.stats.logical_writes == 0
+
+    def test_accessstats_defaults(self):
+        stats = AccessStats()
+        assert stats.logical_reads == 0
+        stats.reset()
+        assert stats.physical_writes == 0
+
+
+class TestCachedReads:
+    def test_cache_absorbs_repeat_reads(self):
+        pm = PageManager(cache_pages=4)
+        pid = pm.allocate("a")
+        pm.read(pid)  # in cache from allocation
+        pm.read(pid)
+        assert pm.stats.logical_reads == 2
+        assert pm.stats.physical_reads == 0
+
+    def test_cache_eviction_causes_physical_read(self):
+        pm = PageManager(cache_pages=2)
+        pids = [pm.allocate(i) for i in range(3)]
+        # Page 0 was evicted by allocations of 1 and 2.
+        pm.read(pids[0])
+        assert pm.stats.physical_reads == 1
+        # Now 0 is hot again; reading it once more is free.
+        pm.read(pids[0])
+        assert pm.stats.physical_reads == 1
+
+    def test_drop_cache(self):
+        pm = PageManager(cache_pages=4)
+        pid = pm.allocate("a")
+        pm.drop_cache()
+        pm.read(pid)
+        assert pm.stats.physical_reads == 1
+
+    def test_free_evicts_from_cache(self):
+        pm = PageManager(cache_pages=4)
+        pid = pm.allocate("a")
+        pm.free(pid)
+        # New page can reuse the slot without stale hits.
+        pid2 = pm.allocate("b")
+        pm.read(pid2)
+        assert pm.read(pid2) == "b"
+
+
+class TestSizing:
+    def test_entries_per_page(self):
+        pm = PageManager(page_size=4096)
+        # 4064 usable bytes / 136-byte entries -> 29.
+        assert pm.entries_per_page(136) == 29
+
+    def test_entries_per_page_minimum_two(self):
+        pm = PageManager(page_size=64)
+        assert pm.entries_per_page(1000) == 2
+
+    def test_entries_per_page_rejects_nonpositive(self):
+        pm = PageManager()
+        with pytest.raises(ValueError):
+            pm.entries_per_page(0)
+
+    def test_default_page_size_is_paper_block(self):
+        assert DEFAULT_PAGE_SIZE == 4096

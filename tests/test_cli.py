@@ -1,0 +1,134 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestBuildAndQuery:
+    def test_build_query_info_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, stdout, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "40",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        assert out.exists()
+        assert "built index over 40 points" in stdout
+
+        code, stdout, __ = run(
+            capsys, "query", str(out), "--point", "0.5,0.5,0.5",
+        )
+        assert code == 0
+        assert "#1  point" in stdout
+
+        code, stdout, __ = run(
+            capsys, "query", str(out), "--point", "0.5,0.5,0.5", "-k", "3",
+        )
+        assert code == 0
+        assert "#3" in stdout
+
+        code, stdout, __ = run(capsys, "info", str(out))
+        assert code == 0
+        assert "expected_candidates" in stdout
+
+    def test_build_from_point_file(self, tmp_path, capsys):
+        rng = np.random.default_rng(151)
+        points = rng.uniform(size=(25, 3))
+        npy = tmp_path / "points.npy"
+        np.save(npy, points)
+        out = tmp_path / "idx.npz"
+        code, stdout, __ = run(
+            capsys, "build", "--points", str(npy), "--out", str(out),
+            "--selector", "nn-direction",
+        )
+        assert code == 0
+        assert "25 points" in stdout
+
+    def test_build_from_csv(self, tmp_path, capsys):
+        csv = tmp_path / "points.csv"
+        csv.write_text("0.1,0.2\n0.7,0.8\n0.4,0.5\n")
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--points", str(csv), "--out", str(out),
+        )
+        assert code == 0
+        code, stdout, __ = run(
+            capsys, "query", str(out), "--point", "0.69,0.79",
+        )
+        assert code == 0
+        assert "point 1" in stdout
+
+    def test_build_with_decomposition(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, stdout, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "20",
+            "--dim", "2", "--out", str(out), "--decompose", "--k-max", "4",
+        )
+        assert code == 0
+
+
+class TestErrorHandling:
+    def test_missing_point_file(self, tmp_path, capsys):
+        code, __, stderr = run(
+            capsys, "build", "--points", str(tmp_path / "nope.npy"),
+            "--out", str(tmp_path / "o.npz"),
+        )
+        assert code == 1
+        assert "error" in stderr
+
+    def test_wrong_query_dim(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "10",
+            "--dim", "3", "--out", str(out))
+        code, __, stderr = run(capsys, "query", str(out), "--point", "0.5")
+        assert code == 1
+        assert "3-d" in stderr
+
+    def test_unparseable_point(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "10",
+            "--dim", "2", "--out", str(out))
+        code, __, stderr = run(capsys, "query", str(out), "--point", "a,b")
+        assert code == 1
+
+    def test_bad_experiment_param(self, capsys):
+        code, __, stderr = run(
+            capsys, "experiment", "figure2", "--param", "oops",
+        )
+        assert code == 1
+
+
+class TestExperimentCommand:
+    def test_figure2_runs(self, capsys):
+        code, stdout, __ = run(
+            capsys, "experiment", "figure2", "--param", "n_points=10",
+        )
+        assert code == 0
+        assert "Figure 2" in stdout
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv = tmp_path / "table.csv"
+        code, stdout, __ = run(
+            capsys, "experiment", "figure2", "--param", "n_points=10",
+            "--csv", str(csv),
+        )
+        assert code == 0
+        assert csv.exists()
+        assert csv.read_text().startswith("distribution,")
+
+    def test_tuple_params(self, capsys):
+        code, stdout, __ = run(
+            capsys, "experiment", "figure13",
+            "--param", "dims=2,", "--param", "n_points=15",
+            "--param", "k_max=4",
+        )
+        assert code == 0
+        assert "Figure 13" in stdout

@@ -1,0 +1,99 @@
+"""Cross-system integration: every search path gives the same answer.
+
+One shared dataset, five independent machines — linear scan, R*-tree RKV,
+X-tree HS, declustered parallel search, and the NN-cell solution-space
+index — must agree on every query.  This is the strongest end-to-end
+statement the repository makes: the paper's approach is exactly as
+correct as exhaustive search, across all the substrates built here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import SelectorKind
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.data import clustered_points, fourier_points, uniform_points
+from repro.eval.costmodel import expected_leaf_accesses
+from repro.index.bulk import bulk_load
+from repro.index.linear_scan import LinearScan
+from repro.index.nnsearch import hs_nearest, rkv_nearest
+from repro.index.parallel import parallel_nearest, proximity_declustering
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+
+@pytest.fixture(
+    scope="module",
+    params=["uniform", "clustered", "fourier"],
+)
+def world(request):
+    dim = 5
+    n = 250
+    if request.param == "uniform":
+        points = uniform_points(n, dim, seed=181)
+    elif request.param == "clustered":
+        points = clustered_points(n, dim, seed=182)
+    else:
+        points = fourier_points(n, dim=dim, seed=183)
+    ids = np.arange(n)
+    rstar = bulk_load(
+        RStarTree(dim, leaf_entry_bytes=8 * dim + 8), points, points, ids
+    )
+    xtree = bulk_load(
+        XTree(dim, leaf_entry_bytes=8 * dim + 8), points, points, ids
+    )
+    scan = LinearScan(points)
+    cells = NNCellIndex.build(
+        points, BuildConfig(selector=SelectorKind.NN_DIRECTION)
+    )
+    assignment = proximity_declustering(rstar, 4)
+    return points, rstar, xtree, scan, cells, assignment
+
+
+def test_all_systems_agree_on_nn_distance(world, rng):
+    points, rstar, xtree, scan, cells, assignment = world
+    for __ in range(50):
+        q = rng.uniform(size=points.shape[1])
+        answers = {
+            "scan": scan.nearest(q).nearest_distance,
+            "rkv(r*)": rkv_nearest(rstar, q).nearest_distance,
+            "hs(x)": hs_nearest(xtree, q).nearest_distance,
+            "parallel": parallel_nearest(
+                rstar, q, assignment, 4
+            ).nearest_distance,
+            "nn-cell": cells.nearest(q)[1],
+        }
+        reference = answers.pop("scan")
+        for name, value in answers.items():
+            assert value == pytest.approx(reference), (
+                f"{name} disagrees with the scan at query {q}"
+            )
+
+
+def test_all_systems_agree_on_data_points(world):
+    points, rstar, xtree, scan, cells, assignment = world
+    for i in range(0, points.shape[0], 25):
+        q = points[i]
+        assert scan.nearest(q).nearest_distance == pytest.approx(0.0)
+        assert rkv_nearest(rstar, q).nearest_distance == pytest.approx(0.0)
+        assert hs_nearest(xtree, q).nearest_distance == pytest.approx(0.0)
+        assert cells.nearest(q)[1] == pytest.approx(0.0)
+
+
+def test_cost_model_brackets_measured_tree_accesses(rng):
+    """The [BBKK 97]-style analytic estimate and the measured R*-tree
+    leaf accesses agree within an order of magnitude on uniform data —
+    a sanity link between the theory that motivates the paper and the
+    simulator the experiments run on."""
+    n, dim = 1500, 6
+    points = uniform_points(n, dim, seed=184)
+    tree = bulk_load(
+        RStarTree(dim, leaf_entry_bytes=8 * dim + 8),
+        points, points, np.arange(n),
+    )
+    points_per_page = tree.leaf_max_entries
+    predicted = expected_leaf_accesses(n, dim, points_per_page)
+    measured = float(np.mean([
+        rkv_nearest(tree, rng.uniform(size=dim)).pages for __ in range(30)
+    ]))
+    assert predicted / 10 <= measured <= predicted * 10 + tree.height
