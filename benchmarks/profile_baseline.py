@@ -1,0 +1,60 @@
+"""Produce the longitudinal baseline profile of a standard workload.
+
+Builds a fixed, seeded index and runs a fixed query workload with full
+instrumentation (metrics + tracing) enabled, then writes the profile
+document to ``benchmarks/results/profile_baseline.json``.  The counters
+are deterministic (seeded data, simulated storage), so diffing the file
+between commits shows exactly how much LP work, page traffic and
+candidate scanning a change added or removed; only the span durations
+vary run to run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_baseline.py
+"""
+
+from bench_common import RESULTS_DIR
+
+from repro.core.nncell_index import NNCellIndex
+from repro.data import query_points, uniform_points
+from repro.obs import export, metrics, tracing
+
+N_POINTS = 300
+DIM = 6
+N_QUERIES = 50
+SEED = 1998  # the paper's year
+
+
+def main() -> None:
+    points = uniform_points(N_POINTS, DIM, seed=SEED)
+    queries = query_points(N_QUERIES, DIM, seed=SEED + 1)
+    with metrics.collecting(fresh=True) as registry:
+        with tracing.collecting() as tracer:
+            index = NNCellIndex.build(points)
+            for q in queries:
+                index.nearest(q)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "profile_baseline.json"
+    document = export.write_profile(
+        path,
+        registry,
+        tracer,
+        meta={
+            "workload": "uniform build + query baseline",
+            "n_points": N_POINTS,
+            "dim": DIM,
+            "n_queries": N_QUERIES,
+            "seed": SEED,
+        },
+    )
+    counters = document["metrics"]["counters"]
+    print(f"wrote {path}")
+    print(f"  build.cells        {counters['build.cells']:.0f}")
+    print(f"  lp.solves          {counters['lp.solves']:.0f}")
+    print(f"  lp.constraint_rows {counters['lp.constraint_rows']:.0f}")
+    print(f"  query.count        {counters['query.count']:.0f}")
+    print(f"  root spans         {len(document['trace'])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,7 @@ from .index import (
     hs_nearest,
     rkv_nearest,
 )
+from . import obs
 from .storage import AccessStats, PageManager
 
 __version__ = "1.0.0"
@@ -102,6 +103,7 @@ __all__ = [
     "load_index",
     "make_dataset",
     "measured_overlap",
+    "obs",
     "save_index",
     "quality_to_performance",
     "query_points",

@@ -6,14 +6,23 @@ Wraps the library's main workflows for shell use:
   generated workload or a ``.npy``/``.csv`` point file) and save it;
 * ``query``  — load a saved index and answer (k-)NN queries;
 * ``info``   — print a saved index's statistics;
+* ``stats``  — same statistics, plus ``--live`` metrics from a sample
+  query workload run with instrumentation enabled;
 * ``experiment`` — run one of the paper's figure experiments and print
   (optionally save) its table.
+
+``build`` and ``query`` accept ``--profile PATH``: the command runs with
+:mod:`repro.obs` metrics and tracing enabled and writes a profile JSON
+document (counters, histograms, nested spans) to ``PATH``.
 
 Examples::
 
     python -m repro build --dataset uniform --n 500 --dim 6 --out idx.npz
     python -m repro query idx.npz --point 0.5,0.5,0.5,0.5,0.5,0.5 -k 3
     python -m repro info idx.npz
+    python -m repro stats idx.npz --live
+    python -m repro build --dataset uniform --n 200 --dim 4 \
+        --out idx.npz --profile build_profile.json
     python -m repro experiment figure4 --param dims=2,4 --param n_points=50
 """
 
@@ -21,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Sequence
 
@@ -31,7 +41,11 @@ from .core.decomposition import DecompositionConfig
 from .core.nncell_index import BuildConfig, NNCellIndex
 from .core.persistence import load_index, save_index
 from .data.registry import dataset_names, make_dataset
+from .data.synthetic import query_points
 from .eval import experiments as experiments_module
+from .obs import export as obs_export
+from .obs import metrics as obs_metrics
+from .obs import tracing as obs_tracing
 
 __all__ = ["main"]
 
@@ -91,6 +105,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="decomposition budget")
     build.add_argument("--out", type=Path, required=True,
                        help="output .npz archive")
+    build.add_argument("--profile", type=Path, metavar="PATH",
+                       help="write a metrics+trace profile JSON")
     build.set_defaults(handler=_cmd_build)
 
     query = sub.add_parser("query", help="query a saved index")
@@ -101,11 +117,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("-k", type=int, default=1,
                        help="number of neighbors")
+    query.add_argument("--profile", type=Path, metavar="PATH",
+                       help="write a metrics+trace profile JSON")
     query.set_defaults(handler=_cmd_query)
 
     info = sub.add_parser("info", help="statistics of a saved index")
     info.add_argument("index", type=Path)
     info.set_defaults(handler=_cmd_info)
+
+    stats = sub.add_parser(
+        "stats", help="index statistics and (optionally) live metrics"
+    )
+    stats.add_argument("index", type=Path)
+    stats.add_argument(
+        "--live", action="store_true",
+        help="run a sample workload with instrumentation enabled and"
+             " print the collected metrics",
+    )
+    stats.add_argument("--queries", type=int, default=20,
+                       help="workload size for --live")
+    stats.add_argument("--seed", type=int, default=0,
+                       help="workload seed for --live")
+    stats.set_defaults(handler=_cmd_stats)
 
     experiment = sub.add_parser(
         "experiment", help="run a paper experiment and print its table"
@@ -126,6 +159,31 @@ def _build_parser() -> argparse.ArgumentParser:
 # Command handlers
 # ----------------------------------------------------------------------
 
+@contextmanager
+def _profiled(path: "Path | None", **meta):
+    """Run a block under metrics + tracing; write profile JSON to ``path``.
+
+    A no-op (instrumentation stays off) when ``path`` is ``None``.
+    """
+    if path is None:
+        yield
+        return
+    parent = path.parent
+    if not parent.is_dir():
+        # Fail before the expensive build/query, not after.
+        raise OSError(f"profile directory {parent} does not exist")
+    with obs_metrics.collecting(fresh=True) as registry:
+        with obs_tracing.collecting() as tracer:
+            yield
+    obs_export.write_profile(path, registry, tracer, meta=meta)
+    print(f"(profile written to {path})")
+
+
+def _print_stats(stats: dict, title: str) -> None:
+    """Render index statistics through the shared exporter table."""
+    print(obs_export.stats_table(stats, title).render())
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.dataset:
         points = make_dataset(
@@ -141,14 +199,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
         decompose=args.decompose,
         decomposition=DecompositionConfig(k_max=args.k_max),
     )
-    index = NNCellIndex.build(points, config)
+    with _profiled(args.profile, command="build",
+                   selector=args.selector,
+                   n_points=int(points.shape[0]),
+                   dim=int(points.shape[1])):
+        index = NNCellIndex.build(points, config)
     save_index(index, args.out)
     stats = index.stats()
     print(
         f"built index over {int(stats['n_points'])} points "
-        f"({int(stats['n_rectangles'])} rectangles, expected candidates "
-        f"{stats['expected_candidates']:.2f}) -> {args.out}"
+        f"({int(stats['n_rectangles'])} rectangles) -> {args.out}"
     )
+    _print_stats(stats, "Build statistics")
     return 0
 
 
@@ -170,12 +232,14 @@ def _load_points(path: Path) -> np.ndarray:
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     point = _parse_point(args.point, index.dim)
-    if args.k == 1:
-        pid, dist, info = index.nearest(point)
-        ids: "List[int]" = [pid]
-        dists = [dist]
-    else:
-        ids, dists, info = index.k_nearest(point, args.k)
+    with _profiled(args.profile, command="query", k=args.k,
+                   dim=index.dim):
+        if args.k == 1:
+            pid, dist, info = index.nearest(point)
+            ids: "List[int]" = [pid]
+            dists = [dist]
+        else:
+            ids, dists, info = index.k_nearest(point, args.k)
     for rank, (pid, dist) in enumerate(zip(ids, dists), start=1):
         coords = ", ".join(f"{c:.4f}" for c in index.points[pid])
         print(f"#{rank}  point {pid}  distance {dist:.6f}  [{coords}]")
@@ -204,8 +268,25 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  selector:       {index.config.selector.value}")
     print(f"  decomposed:     {index.config.decompose}")
     print(f"  dimensionality: {index.dim}")
-    for key, value in sorted(index.stats().items()):
-        print(f"  {key}: {value:.4g}")
+    _print_stats(index.stats(), "Statistics")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    _print_stats(index.stats(), f"Index statistics: {args.index}")
+    if args.live:
+        workload = query_points(args.queries, index.dim, seed=args.seed)
+        with obs_metrics.collecting(fresh=True) as registry:
+            for q in workload:
+                index.nearest(q)
+        print()
+        print(
+            obs_export.metrics_table(
+                registry,
+                f"Live metrics ({args.queries} sample queries)",
+            ).render()
+        )
     return 0
 
 

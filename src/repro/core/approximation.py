@@ -22,6 +22,7 @@ import numpy as np
 from ..geometry.halfspace import HalfspaceSystem
 from ..geometry.mbr import MBR
 from ..lp.interface import maximize, minimize
+from ..obs import metrics
 
 __all__ = ["approximate_cell", "CellApproximation", "lp_call_count"]
 
@@ -68,6 +69,8 @@ def approximate_cell(
     global _LP_CALLS
     box = system.box
     dim = box.dim
+    metrics.inc("cell.approximations")
+    metrics.observe("cell.constraints", system.n_constraints)
     if system.n_constraints == 0:
         return MBR(box.low, box.high)
 
@@ -94,6 +97,7 @@ def approximate_cell(
         c[axis] = 1.0
         res_min = minimize(c, a, b, box.low, box.high, backend=backend)
         _LP_CALLS += 1
+        metrics.inc("cell.lp_calls")
         if not res_min.is_optimal:
             if res_min.status == "infeasible":
                 return None
@@ -102,6 +106,7 @@ def approximate_cell(
             )
         res_max = maximize(c, a, b, box.low, box.high, backend=backend)
         _LP_CALLS += 1
+        metrics.inc("cell.lp_calls")
         if not res_max.is_optimal:  # pragma: no cover - same system as above
             if res_max.status == "infeasible":
                 return None

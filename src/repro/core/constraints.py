@@ -20,6 +20,7 @@ import numpy as np
 
 from ..geometry.halfspace import HalfspaceSystem
 from ..geometry.mbr import MBR
+from ..obs import metrics
 
 __all__ = ["cell_system", "DEFAULT_DATA_SPACE"]
 
@@ -47,6 +48,8 @@ def cell_system(
     ids = ids[ids != center_id]
     if box is None:
         box = MBR.unit_cube(pts.shape[1])
+    metrics.inc("selector.systems")
+    metrics.observe("selector.candidates", ids.shape[0])
     return HalfspaceSystem.nn_cell(pts[center_id], pts[ids], box, point_ids=ids)
 
 

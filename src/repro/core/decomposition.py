@@ -36,6 +36,7 @@ import numpy as np
 
 from ..geometry.halfspace import HalfspaceSystem
 from ..geometry.mbr import MBR
+from ..obs import metrics
 from .approximation import approximate_cell
 
 __all__ = [
@@ -183,11 +184,16 @@ def decompose_cell(
     cell too thin to split) this degenerates to ``[mbr]``.
     """
     if config.strategy == "greedy":
-        return decompose_cell_greedy(system, mbr, config)
+        pieces = decompose_cell_greedy(system, mbr, config)
+        metrics.inc("decomposition.cells")
+        metrics.observe("decomposition.pieces", len(pieces))
+        return pieces
     scores = obliqueness_scores(system, mbr, config)
     scores[mbr.extents <= config.min_extent] = 0.0
     counts = partition_counts(scores, config)
+    metrics.inc("decomposition.cells")
     if int(np.prod(counts)) == 1:
+        metrics.observe("decomposition.pieces", 1)
         return [mbr]
 
     pieces: "List[MBR]" = []
@@ -200,8 +206,12 @@ def decompose_cell(
         )
         if sub_mbr is not None:
             pieces.append(sub_mbr)
+        else:
+            metrics.inc("decomposition.empty_subboxes")
     if not pieces:  # numerically everything vanished: keep the plain MBR
+        metrics.observe("decomposition.pieces", 1)
         return [mbr]
+    metrics.observe("decomposition.pieces", len(pieces))
     return pieces
 
 

@@ -38,6 +38,8 @@ from ..index.bulk import bulk_load
 from ..index.nnsearch import hs_k_nearest, rkv_nearest
 from ..index.rstar import RStarTree
 from ..index.xtree import XTree
+from ..obs import metrics
+from ..obs.tracing import span
 from ..storage.page import DEFAULT_PAGE_SIZE, PageManager
 from .approximation import approximate_cell
 from .candidates import CandidateSelector, SelectorKind, SelectorParams
@@ -143,37 +145,45 @@ class NNCellIndex:
     def _build(self) -> None:
         n = self.points.shape[0]
         ids = np.arange(n)
-        if self.config.bulk and n > 1:
-            bulk_load(self.data_tree, self.points, self.points, ids)
-        else:
-            for i in range(n):
-                self.data_tree.insert_point(self.points[i], int(i))
-        self._selector = CandidateSelector(
-            self.points,
-            self.data_tree,
-            self.config.selector,
-            self.config.selector_params,
-        )
-        all_lows: "List[np.ndarray]" = []
-        all_highs: "List[np.ndarray]" = []
-        all_ids: "List[int]" = []
-        for point_id in range(n):
-            system, rects = self._compute_cell(int(point_id))
-            self._register_cell(int(point_id), system, rects)
-            for rect in rects:
-                all_lows.append(rect.low)
-                all_highs.append(rect.high)
-                all_ids.append(int(point_id))
-        if self.config.bulk and len(all_ids) > 1:
-            bulk_load(
-                self.cell_tree,
-                np.stack(all_lows),
-                np.stack(all_highs),
-                all_ids,
+        with span("build.nncell", n_points=n, dim=self.dim,
+                  selector=self.config.selector.value) as root:
+            with span("build.data_tree"):
+                if self.config.bulk and n > 1:
+                    bulk_load(self.data_tree, self.points, self.points, ids)
+                else:
+                    for i in range(n):
+                        self.data_tree.insert_point(self.points[i], int(i))
+            self._selector = CandidateSelector(
+                self.points,
+                self.data_tree,
+                self.config.selector,
+                self.config.selector_params,
             )
-        else:
-            for low, high, entry_id in zip(all_lows, all_highs, all_ids):
-                self.cell_tree.insert(low, high, entry_id)
+            all_lows: "List[np.ndarray]" = []
+            all_highs: "List[np.ndarray]" = []
+            all_ids: "List[int]" = []
+            with span("build.cells"):
+                for point_id in range(n):
+                    system, rects = self._compute_cell(int(point_id))
+                    self._register_cell(int(point_id), system, rects)
+                    for rect in rects:
+                        all_lows.append(rect.low)
+                        all_highs.append(rect.high)
+                        all_ids.append(int(point_id))
+            with span("build.cell_tree"):
+                if self.config.bulk and len(all_ids) > 1:
+                    bulk_load(
+                        self.cell_tree,
+                        np.stack(all_lows),
+                        np.stack(all_highs),
+                        all_ids,
+                    )
+                else:
+                    for low, high, entry_id in zip(all_lows, all_highs, all_ids):
+                        self.cell_tree.insert(low, high, entry_id)
+            root.set("n_rectangles", len(all_ids))
+        metrics.inc("build.cells", n)
+        metrics.inc("build.rectangles", len(all_ids))
 
     def _compute_cell(
         self, point_id: int
@@ -250,37 +260,53 @@ class NNCellIndex:
         if q.shape != (self.dim,):
             raise ValueError(f"query must be a {self.dim}-vector")
         info = QueryInfo()
-        if not self.box.contains_point(q, atol=self.config.query_atol):
-            return self._fallback_nearest(q, info)
+        with span("query.nearest", dim=self.dim) as root:
+            if not self.box.contains_point(q, atol=self.config.query_atol):
+                return self._fallback_nearest(q, info)
 
-        before = self.cell_tree.pages.stats.logical_reads
-        candidate_ids = np.unique(
-            self.cell_tree.point_query(q, atol=self.config.query_atol)
-        )
-        if candidate_ids.size == 0:
-            # Roundoff pushed the query through a cell boundary crack:
-            # retry once with a much looser tolerance before giving up.
-            info.retried_atol = True
-            candidate_ids = np.unique(
-                self.cell_tree.point_query(
-                    q, atol=max(self.config.query_atol * 1e4, 1e-6)
+            before = self.cell_tree.pages.stats.logical_reads
+            with span("query.point_query") as lookup:
+                candidate_ids = np.unique(
+                    self.cell_tree.point_query(q, atol=self.config.query_atol)
                 )
-            )
-        info.pages += self.cell_tree.pages.stats.logical_reads - before
-        if candidate_ids.size == 0:  # pragma: no cover - safety net
-            return self._fallback_nearest(q, info)
+                if candidate_ids.size == 0:
+                    # Roundoff pushed the query through a cell boundary
+                    # crack: retry once with a much looser tolerance
+                    # before giving up.
+                    info.retried_atol = True
+                    metrics.inc("query.atol_retries")
+                    candidate_ids = np.unique(
+                        self.cell_tree.point_query(
+                            q, atol=max(self.config.query_atol * 1e4, 1e-6)
+                        )
+                    )
+                info.pages += (
+                    self.cell_tree.pages.stats.logical_reads - before
+                )
+                lookup.set("pages", info.pages)
+            if candidate_ids.size == 0:  # pragma: no cover - safety net
+                return self._fallback_nearest(q, info)
 
-        dist_sq = distances_to_points(q, self.points[candidate_ids])
-        info.n_candidates = int(candidate_ids.size)
-        info.distance_computations = int(candidate_ids.size)
-        best = int(np.argmin(dist_sq))
-        return int(candidate_ids[best]), float(np.sqrt(dist_sq[best])), info
+            with span("query.candidate_scan") as scan:
+                dist_sq = distances_to_points(q, self.points[candidate_ids])
+                info.n_candidates = int(candidate_ids.size)
+                info.distance_computations = int(candidate_ids.size)
+                scan.set("candidates", info.n_candidates)
+            metrics.inc("query.count")
+            metrics.observe("query.candidates", info.n_candidates)
+            metrics.observe("query.pages", info.pages)
+            root.set("pages", info.pages)
+            root.set("candidates", info.n_candidates)
+            best = int(np.argmin(dist_sq))
+            return int(candidate_ids[best]), float(np.sqrt(dist_sq[best])), info
 
     def _fallback_nearest(
         self, q: np.ndarray, info: QueryInfo
     ) -> "Tuple[int, float, QueryInfo]":
         info.fallback = True
-        result = rkv_nearest(self.data_tree, q)
+        metrics.inc("query.fallbacks")
+        with span("query.fallback"):
+            result = rkv_nearest(self.data_tree, q)
         info.pages += result.pages
         info.distance_computations += result.distance_computations
         return result.nearest_id, result.nearest_distance, info
@@ -305,46 +331,63 @@ class NNCellIndex:
         n_live = len(self)
         k_eff = min(k, n_live)
         info = QueryInfo()
-        if not self.box.contains_point(q, atol=self.config.query_atol):
-            info.fallback = True
-            result = hs_k_nearest(self.data_tree, q, k_eff)
-            info.pages += result.pages
-            info.distance_computations += result.distance_computations
-            return result.ids, result.distances, info
+        with span("query.k_nearest", dim=self.dim, k=k_eff) as root:
+            if not self.box.contains_point(q, atol=self.config.query_atol):
+                info.fallback = True
+                metrics.inc("query.fallbacks")
+                with span("query.fallback"):
+                    result = hs_k_nearest(self.data_tree, q, k_eff)
+                info.pages += result.pages
+                info.distance_computations += result.distance_computations
+                return result.ids, result.distances, info
 
-        before = self.cell_tree.pages.stats.logical_reads
-        candidates = np.unique(
-            self.cell_tree.point_query(q, atol=self.config.query_atol)
-        )
-        info.pages += self.cell_tree.pages.stats.logical_reads - before
+            before = self.cell_tree.pages.stats.logical_reads
+            with span("query.point_query") as lookup:
+                candidates = np.unique(
+                    self.cell_tree.point_query(q, atol=self.config.query_atol)
+                )
+                info.pages += self.cell_tree.pages.stats.logical_reads - before
+                lookup.set("pages", info.pages)
 
-        if candidates.size < k_eff:
-            # Not enough order-1 candidates: let the data index finish.
-            info.fallback = True
-            result = hs_k_nearest(self.data_tree, q, k_eff)
-            info.pages += result.pages
-            info.distance_computations += result.distance_computations
-            return result.ids, result.distances, info
+            if candidates.size < k_eff:
+                # Not enough order-1 candidates: let the data index finish.
+                info.fallback = True
+                metrics.inc("query.fallbacks")
+                with span("query.fallback"):
+                    result = hs_k_nearest(self.data_tree, q, k_eff)
+                info.pages += result.pages
+                info.distance_computations += result.distance_computations
+                return result.ids, result.distances, info
 
-        dist_sq = distances_to_points(q, self.points[candidates])
-        info.n_candidates = int(candidates.size)
-        info.distance_computations += int(candidates.size)
-        order = np.argsort(dist_sq)
-        radius = float(np.sqrt(dist_sq[order[k_eff - 1]]))
+            with span("query.candidate_scan") as scan:
+                dist_sq = distances_to_points(q, self.points[candidates])
+                info.n_candidates = int(candidates.size)
+                info.distance_computations += int(candidates.size)
+                scan.set("candidates", info.n_candidates)
+            order = np.argsort(dist_sq)
+            radius = float(np.sqrt(dist_sq[order[k_eff - 1]]))
 
-        # Every k-NN member lies within the candidates' k-th distance.
-        before = self.data_tree.pages.stats.logical_reads
-        within = self.data_tree.sphere_query(q, radius + self.config.query_atol)
-        info.pages += self.data_tree.pages.stats.logical_reads - before
-        within = np.unique(within)
-        final_sq = distances_to_points(q, self.points[within])
-        info.distance_computations += int(within.size)
-        best = np.argsort(final_sq)[:k_eff]
-        return (
-            [int(within[i]) for i in best],
-            [float(np.sqrt(final_sq[i])) for i in best],
-            info,
-        )
+            # Every k-NN member lies within the candidates' k-th distance.
+            before = self.data_tree.pages.stats.logical_reads
+            with span("query.sphere_refinement"):
+                within = self.data_tree.sphere_query(
+                    q, radius + self.config.query_atol
+                )
+            info.pages += self.data_tree.pages.stats.logical_reads - before
+            within = np.unique(within)
+            final_sq = distances_to_points(q, self.points[within])
+            info.distance_computations += int(within.size)
+            metrics.inc("query.count")
+            metrics.observe("query.candidates", info.n_candidates)
+            metrics.observe("query.pages", info.pages)
+            root.set("pages", info.pages)
+            root.set("candidates", info.n_candidates)
+            best = np.argsort(final_sq)[:k_eff]
+            return (
+                [int(within[i]) for i in best],
+                [float(np.sqrt(final_sq[i])) for i in best],
+                info,
+            )
 
     def within_radius(
         self, center: Sequence[float], radius: float

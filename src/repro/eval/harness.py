@@ -25,6 +25,7 @@ from ..core.nncell_index import NNCellIndex
 from ..index.linear_scan import LinearScan
 from ..index.nnsearch import hs_nearest, rkv_nearest
 from ..index.rstar import RStarTree
+from ..obs import metrics as obs_metrics
 
 __all__ = [
     "CostModel",
@@ -60,6 +61,9 @@ class QueryMeasurement:
     distance_computations: int = 0
     candidates: int = 0
     extra: "Dict[str, float]" = field(default_factory=dict)
+    #: counter increments observed during the workload (empty unless
+    #: :mod:`repro.obs.metrics` was enabled while measuring)
+    metrics: "Dict[str, float]" = field(default_factory=dict)
 
     def total_seconds(self, cost_model: "CostModel | None" = None) -> float:
         """Modelled total time of the whole workload."""
@@ -97,6 +101,7 @@ def measure_nncell_queries(
     """Run a workload through :meth:`NNCellIndex.nearest`."""
     meas = QueryMeasurement("nn-cell")
     fallbacks = 0
+    before = obs_metrics.snapshot() if obs_metrics.enabled() else None
     for q in np.atleast_2d(queries):
         if drop_cache:
             index.cell_tree.pages.drop_cache()
@@ -109,6 +114,8 @@ def measure_nncell_queries(
         meas.candidates += info.n_candidates
         fallbacks += int(info.fallback)
     meas.extra["fallbacks"] = float(fallbacks)
+    if before is not None:
+        meas.metrics = obs_metrics.delta_since(before)
     return meas
 
 
@@ -124,6 +131,7 @@ def measure_tree_queries(
         raise ValueError(f"method must be one of {sorted(algorithms)}")
     search = algorithms[method]
     meas = QueryMeasurement(method)
+    before = obs_metrics.snapshot() if obs_metrics.enabled() else None
     for q in np.atleast_2d(queries):
         if drop_cache:
             tree.pages.drop_cache()
@@ -133,6 +141,8 @@ def measure_tree_queries(
         meas.cpu_seconds += timer.seconds
         meas.pages += result.pages
         meas.distance_computations += result.distance_computations
+    if before is not None:
+        meas.metrics = obs_metrics.delta_since(before)
     return meas
 
 
@@ -141,6 +151,7 @@ def measure_scan_queries(
 ) -> QueryMeasurement:
     """Run a workload through the sequential-scan baseline."""
     meas = QueryMeasurement("linear-scan")
+    before = obs_metrics.snapshot() if obs_metrics.enabled() else None
     for q in np.atleast_2d(queries):
         if drop_cache:
             scan.pages.drop_cache()
@@ -150,4 +161,6 @@ def measure_scan_queries(
         meas.cpu_seconds += timer.seconds
         meas.pages += result.pages
         meas.distance_computations += result.distance_computations
+    if before is not None:
+        meas.metrics = obs_metrics.delta_since(before)
     return meas

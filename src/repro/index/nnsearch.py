@@ -29,6 +29,8 @@ from typing import List, Sequence
 import numpy as np
 
 from ..geometry.distance import mindist_sq_arrays, minmaxdist_sq_arrays
+from ..obs import metrics
+from ..obs.tracing import span
 from .rstar import RStarTree
 
 __all__ = ["NNResult", "rkv_nearest", "hs_nearest", "hs_k_nearest"]
@@ -71,6 +73,7 @@ def rkv_nearest(tree: RStarTree, query: Sequence[float]) -> NNResult:
         before = tree.pages.stats.logical_reads
         node = tree._read(page_id)
         result.pages += tree.pages.stats.logical_reads - before
+        metrics.inc("search.node_visits")
         if node.n_entries == 0:
             return
         if node.is_leaf:
@@ -102,7 +105,12 @@ def rkv_nearest(tree: RStarTree, query: Sequence[float]) -> NNResult:
                 break  # sorted: every later child is pruned too
             visit(int(node.ids[child_pos]))
 
-    visit(tree.root_id)
+    with span("search.rkv") as s:
+        visit(tree.root_id)
+        s.set("pages", result.pages)
+        s.set("distance_computations", result.distance_computations)
+    metrics.inc("search.queries")
+    metrics.inc("search.distance_computations", result.distance_computations)
     if state["best_id"] >= 0:
         result.ids = [state["best_id"]]
         result.distances = [float(np.sqrt(state["best_sq"]))]
@@ -124,24 +132,31 @@ def hs_k_nearest(tree: RStarTree, query: Sequence[float], k: int) -> NNResult:
     # Heap items: (mindist_sq, counter, kind, payload); kind 0 = node page,
     # kind 1 = data entry.
     heap: "List[tuple[float, int, int, int]]" = [(0.0, counter, 0, tree.root_id)]
-    while heap and len(result.ids) < k:
-        dist_sq, __, kind, payload = heapq.heappop(heap)
-        if kind == 1:
-            result.ids.append(payload)
-            result.distances.append(float(np.sqrt(dist_sq)))
-            continue
-        before = tree.pages.stats.logical_reads
-        node = tree._read(payload)
-        result.pages += tree.pages.stats.logical_reads - before
-        if node.n_entries == 0:
-            continue
-        dists = mindist_sq_arrays(q, node.lows, node.highs)
-        if node.is_leaf:
-            result.distance_computations += node.n_entries
-        for i in range(node.n_entries):
-            counter += 1
-            heapq.heappush(
-                heap,
-                (float(dists[i]), counter, int(node.is_leaf), int(node.ids[i])),
-            )
+    with span("search.hs", k=k) as s:
+        while heap and len(result.ids) < k:
+            dist_sq, __, kind, payload = heapq.heappop(heap)
+            if kind == 1:
+                result.ids.append(payload)
+                result.distances.append(float(np.sqrt(dist_sq)))
+                continue
+            before = tree.pages.stats.logical_reads
+            node = tree._read(payload)
+            result.pages += tree.pages.stats.logical_reads - before
+            metrics.inc("search.node_visits")
+            if node.n_entries == 0:
+                continue
+            dists = mindist_sq_arrays(q, node.lows, node.highs)
+            if node.is_leaf:
+                result.distance_computations += node.n_entries
+            for i in range(node.n_entries):
+                counter += 1
+                heapq.heappush(
+                    heap,
+                    (float(dists[i]), counter, int(node.is_leaf),
+                     int(node.ids[i])),
+                )
+        s.set("pages", result.pages)
+        s.set("distance_computations", result.distance_computations)
+    metrics.inc("search.queries")
+    metrics.inc("search.distance_computations", result.distance_computations)
     return result

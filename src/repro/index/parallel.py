@@ -34,6 +34,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..geometry.distance import mindist_sq_arrays
+from ..obs import metrics
 from .rstar import RStarTree
 
 __all__ = [
@@ -217,4 +218,7 @@ def parallel_nearest(
     if best_id >= 0:
         result.ids = [best_id]
         result.distances = [float(np.sqrt(best_sq))]
+    metrics.inc("parallel.queries")
+    metrics.inc("parallel.rounds", result.rounds)
+    metrics.inc("parallel.pages", result.pages)
     return result

@@ -29,6 +29,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..geometry.mbr import MBR
+from ..obs import metrics
 from ..storage.page import DEFAULT_PAGE_SIZE, PageManager
 from .node import Node, entry_bytes
 
@@ -283,6 +284,7 @@ class RStarTree:
         node_id = path[-1]
         node = self._read(node_id)
         group1, group2 = self._split_node(node_id, node)
+        metrics.inc("index.splits")
         self._install_split(path, node_id, group1, group2, reinserted_levels)
 
     def _split_node(self, node_id: int, node: Node) -> "Tuple[Node, Node]":

@@ -27,6 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..obs import metrics
 from .node import Node
 from .rstar import RStarTree
 
@@ -131,6 +132,8 @@ class XTree(RStarTree):
         old_blocks = self.pages.n_blocks_of(node_id)
         if old_blocks == 1:
             self.n_supernodes += 1
+            metrics.inc("xtree.supernodes")
+        metrics.inc("xtree.supernode_blocks")
         self.pages.write(node_id, node, n_blocks=old_blocks + 1)
         # No structural change: ancestors keep their MBRs and entry counts,
         # so nothing else can overflow.

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import metrics
 from .simplex import SimplexResult, simplex_maximize
 
 __all__ = [
@@ -84,9 +85,16 @@ def maximize(
             if np.asarray(a_ub).shape[0] >= _AUTO_SCIPY_THRESHOLD
             else "simplex"
         )
+    metrics.inc("lp.solves")
+    metrics.inc(f"lp.backend.{chosen}")
+    metrics.inc("lp.constraint_rows", np.asarray(a_ub).shape[0])
     if chosen == "simplex":
-        return _from_simplex(simplex_maximize(c, a_ub, b_ub, lb, ub))
-    return _scipy_maximize(c, a_ub, b_ub, lb, ub)
+        result = _from_simplex(simplex_maximize(c, a_ub, b_ub, lb, ub))
+    else:
+        result = _scipy_maximize(c, a_ub, b_ub, lb, ub)
+    if result.status == "infeasible":
+        metrics.inc("lp.infeasible")
+    return result
 
 
 def minimize(

@@ -30,6 +30,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import metrics
+
 __all__ = ["SimplexResult", "simplex_maximize", "SimplexError"]
 
 _EPS = 1e-9
@@ -108,6 +110,7 @@ def simplex_maximize(
     b_full = np.concatenate(b_rows) if b_rows else np.zeros(0)
 
     y, status, iterations = _solve_standard_form(c, a_full, b_full)
+    metrics.inc("lp.simplex.pivots", iterations)
     if status != "optimal":
         return SimplexResult(status, None, float("nan"), iterations)
     x = lb + y

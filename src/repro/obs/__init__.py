@@ -1,0 +1,50 @@
+"""Observability: metrics registry, span tracing, profile exporters.
+
+Three small modules with one job each:
+
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms, free when disabled, thread-safe when enabled;
+* :mod:`repro.obs.tracing` — nested wall-clock spans propagated via
+  ``contextvars``;
+* :mod:`repro.obs.export` — JSON / CSV / table exporters and the
+  ``--profile`` document format.
+
+See ``docs/observability.md`` for the metric-name and span taxonomy.
+"""
+
+from . import export, metrics, tracing
+from .export import (
+    load_profile,
+    metrics_table,
+    metrics_to_csv,
+    metrics_to_dict,
+    span_to_dict,
+    stats_table,
+    trace_to_list,
+    write_profile,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span, Tracer, current_span, span, traced
+
+__all__ = [
+    "metrics",
+    "tracing",
+    "export",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "span",
+    "traced",
+    "current_span",
+    "metrics_to_dict",
+    "metrics_to_csv",
+    "metrics_table",
+    "stats_table",
+    "span_to_dict",
+    "trace_to_list",
+    "write_profile",
+    "load_profile",
+]

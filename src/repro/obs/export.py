@@ -1,0 +1,159 @@
+"""Exporters: metrics and traces to JSON / CSV / result tables.
+
+Output formats line up with what the repository already produces:
+
+* **CSV** uses the same header-plus-comma-rows shape as
+  :meth:`repro.eval.reporting.ResultTable.to_csv`, so metric dumps sit
+  next to the figure tables under ``benchmarks/results/``;
+* **profile JSON** is one self-describing document
+  ``{"meta": ..., "metrics": ..., "trace": ...}`` written by the CLI's
+  ``--profile`` flag and by ``benchmarks/profile_baseline.py``;
+  :func:`load_profile` reads it back for round-trip tests and
+  longitudinal comparisons between PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.obs stays dependency-free
+    from ..eval.reporting import ResultTable
+
+__all__ = [
+    "metrics_to_dict",
+    "metrics_to_csv",
+    "metrics_table",
+    "stats_table",
+    "span_to_dict",
+    "trace_to_list",
+    "write_profile",
+    "load_profile",
+]
+
+PROFILE_FORMAT_VERSION = 1
+
+
+# ======================================================================
+# Metrics
+# ======================================================================
+
+def metrics_to_dict(registry: MetricsRegistry) -> "Dict[str, Any]":
+    """Structured view: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+    return registry.as_dict()
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Flat ``metric,kind,value`` CSV of every metric.
+
+    Histograms are flattened to one row per aggregate
+    (``hist.count``, ``hist.mean``, ...), keeping the file a plain
+    two-dimensional table like the figure CSVs.
+    """
+    data = metrics_to_dict(registry)
+    lines = ["metric,kind,value"]
+    for name, value in data["counters"].items():
+        lines.append(f"{name},counter,{value:g}")
+    for name, value in data["gauges"].items():
+        lines.append(f"{name},gauge,{value:g}")
+    for name, summary in data["histograms"].items():
+        for stat, value in summary.items():
+            lines.append(f"{name}.{stat},histogram,{value:g}")
+    return "\n".join(lines)
+
+
+def metrics_table(
+    registry: MetricsRegistry, title: str = "Metrics"
+) -> "ResultTable":
+    """The registry as a printable :class:`ResultTable`."""
+    from ..eval.reporting import ResultTable
+
+    table = ResultTable(title, ["metric", "kind", "value"])
+    data = metrics_to_dict(registry)
+    for name, value in data["counters"].items():
+        table.add_row(metric=name, kind="counter", value=value)
+    for name, value in data["gauges"].items():
+        table.add_row(metric=name, kind="gauge", value=value)
+    for name, summary in data["histograms"].items():
+        for stat, value in summary.items():
+            table.add_row(
+                metric=f"{name}.{stat}", kind="histogram", value=value
+            )
+    return table
+
+
+def stats_table(
+    stats: "Mapping[str, float]", title: str = "Index statistics"
+) -> "ResultTable":
+    """A plain name/value mapping as a printable :class:`ResultTable`.
+
+    Shared by every CLI path that reports index statistics, so ``build``,
+    ``info`` and ``stats`` render identically.
+    """
+    from ..eval.reporting import ResultTable
+
+    table = ResultTable(title, ["statistic", "value"])
+    for name in sorted(stats):
+        table.add_row(statistic=name, value=stats[name])
+    return table
+
+
+# ======================================================================
+# Traces
+# ======================================================================
+
+def span_to_dict(span: Span) -> "Dict[str, Any]":
+    """One span tree as nested plain dicts (JSON-ready)."""
+    return {
+        "name": span.name,
+        "duration_seconds": span.duration_seconds,
+        "attributes": dict(span.attributes),
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def trace_to_list(tracer: "Optional[Tracer]") -> "List[Dict[str, Any]]":
+    """Every collected root span of ``tracer`` as nested dicts."""
+    if tracer is None:
+        return []
+    return [span_to_dict(root) for root in tracer.spans]
+
+
+# ======================================================================
+# Profiles
+# ======================================================================
+
+def write_profile(
+    path: "str | Path",
+    registry: "Optional[MetricsRegistry]" = None,
+    tracer: "Optional[Tracer]" = None,
+    meta: "Optional[Mapping[str, Any]]" = None,
+) -> "Dict[str, Any]":
+    """Write a run profile (metrics + trace + metadata) as JSON.
+
+    Returns the document that was written.
+    """
+    document: "Dict[str, Any]" = {
+        "format_version": PROFILE_FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "metrics": (
+            metrics_to_dict(registry)
+            if registry is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        ),
+        "trace": trace_to_list(tracer),
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def load_profile(path: "str | Path") -> "Dict[str, Any]":
+    """Read a profile document written by :func:`write_profile`."""
+    document = json.loads(Path(path).read_text())
+    if "metrics" not in document or "trace" not in document:
+        raise ValueError(f"{path} is not a repro profile document")
+    return document

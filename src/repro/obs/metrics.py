@@ -1,0 +1,357 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The paper's whole argument is a cost decomposition — CPU work vs. page
+accesses (Figures 9/12) — so every layer of this codebase emits the
+quantities that decomposition is made of: LP solves and pivots, candidate
+counts, decomposition fan-out, page reads, cache hits, node visits.  This
+module is the sink for those events.
+
+Design constraints, in order:
+
+1. **Cheap when disabled.**  Instrumentation is off by default; every
+   hot-path helper (:func:`inc`, :func:`observe`, :func:`set_gauge`)
+   checks one module-level boolean and returns immediately, so a page
+   read or an LP solve pays a single function call.  The benchmark gate
+   is < 3% query-throughput overhead with metrics disabled.
+2. **Thread-safe when enabled.**  Counter increments and histogram
+   observations from parallel workers (e.g. threads driving
+   :mod:`repro.index.parallel` searches) are serialised by one registry
+   lock; ``n`` threads adding ``k`` events each always total ``n * k``.
+3. **Snapshot/delta friendly.**  The evaluation harness brackets a query
+   workload with :meth:`MetricsRegistry.snapshot` /
+   :meth:`MetricsRegistry.delta_since` to attribute counter traffic to
+   that workload, the same way :class:`repro.storage.page.AccessStats`
+   is snapshotted around a single query.
+
+Metric names are dot-separated, lowest-level subsystem first
+(``lp.solves``, ``storage.cache.hits``, ``query.candidates``); the full
+taxonomy is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "enabled",
+    "enable",
+    "disable",
+    "get_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "delta_since",
+    "collecting",
+]
+
+#: Histograms keep exact count/sum/min/max forever but cap the stored
+#: sample list, so month-long processes cannot grow without bound.
+HISTOGRAM_SAMPLE_CAP = 65_536
+
+
+class Counter:
+    """A monotonically increasing sum of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (buffer occupancy, tree height, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Count, sum, min and max are exact; percentiles are computed from a
+    sample list capped at :data:`HISTOGRAM_SAMPLE_CAP` observations
+    (observations past the cap still update the exact aggregates).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: "List[float]" = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolation percentile of the stored sample, ``q`` in
+        [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        pos = (len(ordered) - 1) * q / 100.0
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> "Dict[str, float]":
+        """The exported aggregate view of this histogram."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    All mutating operations take the registry lock, so a registry can be
+    shared by worker threads.  Metric objects are created on first use
+    and live for the registry's lifetime.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: "Dict[str, Counter]" = {}
+        self._gauges: "Dict[str, Gauge]" = {}
+        self._histograms: "Dict[str, Histogram]" = {}
+
+    # ------------------------------------------------------------------
+    # Metric access (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    # ------------------------------------------------------------------
+    # Recording (one lock round-trip per event)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            metric.inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            metric.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            metric.observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Dict[str, float]":
+        """Flat ``name -> value`` view of every cumulative quantity.
+
+        Counters appear under their own name; histograms contribute
+        ``<name>.count`` and ``<name>.sum`` (the cumulative components a
+        delta is meaningful for).  Gauges are excluded — they are not
+        cumulative.
+        """
+        with self._lock:
+            flat: "Dict[str, float]" = {
+                name: c.value for name, c in self._counters.items()
+            }
+            for name, h in self._histograms.items():
+                flat[f"{name}.count"] = float(h.count)
+                flat[f"{name}.sum"] = h.total
+            return flat
+
+    def delta_since(self, earlier: "Dict[str, float]") -> "Dict[str, float]":
+        """Non-zero counter/histogram increments since ``earlier``."""
+        now = self.snapshot()
+        delta = {}
+        for name, value in now.items():
+            change = value - earlier.get(name, 0.0)
+            if change != 0.0:
+                delta[name] = change
+        return delta
+
+    def as_dict(self) -> "Dict[str, object]":
+        """Structured export view (used by :mod:`repro.obs.export`)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value
+                    for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value
+                    for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and per-run profiling)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
+
+
+# ======================================================================
+# Module-level fast path
+# ======================================================================
+
+_enabled = False
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Whether instrumentation events are currently being recorded."""
+    return _enabled
+
+
+def enable() -> MetricsRegistry:
+    """Turn recording on; returns the process-wide registry."""
+    global _enabled
+    _enabled = True
+    return _registry
+
+
+def disable() -> None:
+    """Turn recording off (the registry keeps its accumulated values)."""
+    global _enabled
+    _enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (whether or not recording is on)."""
+    return _registry
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Hot-path counter increment; no-op unless metrics are enabled."""
+    if not _enabled:
+        return
+    _registry.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Hot-path gauge update; no-op unless metrics are enabled."""
+    if not _enabled:
+        return
+    _registry.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Hot-path histogram observation; no-op unless metrics are enabled."""
+    if not _enabled:
+        return
+    _registry.observe(name, value)
+
+
+def snapshot() -> "Dict[str, float]":
+    """Snapshot of the process-wide registry (see the registry method)."""
+    return _registry.snapshot()
+
+
+def delta_since(earlier: "Dict[str, float]") -> "Dict[str, float]":
+    """Delta of the process-wide registry since ``earlier``."""
+    return _registry.delta_since(earlier)
+
+
+@contextmanager
+def collecting(fresh: bool = False) -> "Iterator[MetricsRegistry]":
+    """Enable metrics for a ``with`` block, restoring the previous state.
+
+    ``fresh=True`` additionally clears the registry on entry, so the
+    block observes only its own events without snapshot arithmetic.
+    Reentrant: nesting inside an already-enabled scope leaves recording
+    on afterwards.
+    """
+    was_enabled = _enabled
+    if fresh:
+        _registry.reset()
+    enable()
+    try:
+        yield _registry
+    finally:
+        if not was_enabled:
+            disable()

@@ -1,0 +1,234 @@
+"""Span-based tracing of builds and queries.
+
+A *span* is one named, timed region of work — ``lp.solve``,
+``query.point_query`` — with attributes and child spans.  Spans nest via
+:mod:`contextvars`, so the tree mirrors the dynamic call structure even
+across worker threads (each thread sees its own current-span context):
+
+    with span("query.nearest", dim=8):
+        with span("query.point_query") as s:
+            ...
+            s.set("pages", pages)
+        with span("query.candidate_scan"):
+            ...
+
+Like :mod:`repro.obs.metrics`, tracing is off by default and the
+:func:`span` helper returns a shared no-op object after one boolean
+check, so instrumented hot paths stay cheap.  When enabled, finished
+root spans accumulate on the installed :class:`Tracer`; exporters in
+:mod:`repro.obs.export` turn them into nested JSON.
+
+Timing uses :func:`time.perf_counter` — monotonic, so a child span's
+measured duration can never exceed its parent's beyond timer resolution.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "traced",
+    "current_span",
+    "enabled",
+    "enable",
+    "disable",
+    "get_tracer",
+    "collecting",
+]
+
+
+class Span:
+    """One timed region: name, wall-clock window, attributes, children."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "_token")
+
+    def __init__(self, name: str, attributes: "Optional[Dict[str, Any]]" = None):
+        self.name = name
+        self.attributes: "Dict[str, Any]" = dict(attributes or {})
+        self.children: "List[Span]" = []
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self._token = None
+
+    @property
+    def duration_seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    # ------------------------------------------------------------------
+    # Context-manager protocol
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end = time.perf_counter()
+        _current.reset(self._token)
+        self._token = None
+        # Attach to the enclosing span, current again after the reset;
+        # root spans go to the installed tracer.
+        enclosing = _current.get()
+        if enclosing is not None:
+            enclosing.children.append(self)
+        elif _tracer is not None:
+            _tracer.add(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_seconds * 1e3:.3f} ms,"
+            f" {len(self.children)} children)"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished root spans for one enablement scope."""
+
+    def __init__(self):
+        self.spans: "List[Span]" = []
+
+    def add(self, finished: Span) -> None:
+        self.spans.append(finished)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def find(self, name: str) -> "List[Span]":
+        """All spans with ``name`` anywhere in the collected trees."""
+        found: "List[Span]" = []
+        stack = list(self.spans)
+        while stack:
+            node = stack.pop()
+            if node.name == name:
+                found.append(node)
+            stack.extend(node.children)
+        return found
+
+
+# ======================================================================
+# Module state
+# ======================================================================
+
+_current: "ContextVar[Optional[Span]]" = ContextVar(
+    "repro_current_span", default=None
+)
+_enabled = False
+_tracer: "Optional[Tracer]" = None
+
+
+def enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _enabled
+
+
+def enable(tracer: "Optional[Tracer]" = None) -> Tracer:
+    """Start recording spans onto ``tracer`` (a fresh one by default)."""
+    global _enabled, _tracer
+    _tracer = tracer or _tracer or Tracer()
+    _enabled = True
+    return _tracer
+
+
+def disable() -> None:
+    """Stop recording; the installed tracer keeps its collected spans."""
+    global _enabled
+    _enabled = False
+
+
+def get_tracer() -> "Optional[Tracer]":
+    """The installed tracer, or ``None`` if tracing never started."""
+    return _tracer
+
+
+def span(name: str, **attributes: Any):
+    """Open a traced region; usable as a context manager.
+
+    Returns the shared no-op span when tracing is disabled, so call
+    sites never need their own enablement checks.
+    """
+    if not _enabled:
+        return _NOOP
+    return Span(name, attributes)
+
+
+def current_span():
+    """The innermost open span, or a no-op stand-in when disabled."""
+    if not _enabled:
+        return _NOOP
+    active = _current.get()
+    return active if active is not None else _NOOP
+
+
+def traced(name: "Optional[str]" = None) -> "Callable":
+    """Decorator form: trace every call of the wrapped function."""
+
+    def decorate(func: "Callable") -> "Callable":
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return func(*args, **kwargs)
+            with Span(span_name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+class collecting:
+    """Context manager: record spans for a block onto a fresh tracer.
+
+    Restores the previous enablement state and tracer on exit::
+
+        with tracing.collecting() as tracer:
+            index.nearest(q)
+        root = tracer.spans[0]
+    """
+
+    def __init__(self):
+        self.tracer = Tracer()
+        self._prev_enabled = False
+        self._prev_tracer: "Optional[Tracer]" = None
+
+    def __enter__(self) -> Tracer:
+        global _enabled, _tracer
+        self._prev_enabled = _enabled
+        self._prev_tracer = _tracer
+        _tracer = self.tracer
+        _enabled = True
+        return self.tracer
+
+    def __exit__(self, *exc_info) -> None:
+        global _enabled, _tracer
+        _enabled = self._prev_enabled
+        _tracer = self._prev_tracer

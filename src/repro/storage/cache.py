@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
+from ..obs import metrics
+
 __all__ = ["LRUCache"]
 
 
@@ -38,8 +40,10 @@ class LRUCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            metrics.inc("storage.cache.hits")
             return True
         self.misses += 1
+        metrics.inc("storage.cache.misses")
         return False
 
     def put(self, key: int, value: Any, n_blocks: int = 1) -> None:

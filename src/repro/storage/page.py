@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from ..obs import metrics
 from .cache import LRUCache
 
 __all__ = ["AccessStats", "PageManager", "DEFAULT_PAGE_SIZE"]
@@ -129,10 +130,13 @@ class PageManager:
         if page is None:
             raise KeyError(f"page {page_id} does not exist")
         self.stats.logical_reads += page.n_blocks
+        metrics.inc("storage.logical_reads", page.n_blocks)
         if self._cache is None:
             self.stats.physical_reads += page.n_blocks
+            metrics.inc("storage.physical_reads", page.n_blocks)
         elif not self._cache.touch(page_id):
             self.stats.physical_reads += page.n_blocks
+            metrics.inc("storage.physical_reads", page.n_blocks)
             self._cache.put(page_id, True, page.n_blocks)
         return page.payload
 
@@ -186,3 +190,4 @@ class PageManager:
     def _count_write(self, n_blocks: int) -> None:
         self.stats.logical_writes += n_blocks
         self.stats.physical_writes += n_blocks
+        metrics.inc("storage.writes", n_blocks)

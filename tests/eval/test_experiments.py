@@ -86,7 +86,8 @@ class TestFigure4And5:
     def test_columns_and_rows(self, fig4):
         assert len(fig4.rows) == 2 * 4  # dims x algorithms
         assert set(fig4.columns) >= {"dim", "algorithm", "build_seconds",
-                                     "overlap"}
+                                     "build_lp_rows", "build_pages",
+                                     "build_cost", "overlap"}
 
     def test_correct_has_lowest_overlap(self, fig4):
         for dim in (2, 4):
@@ -95,9 +96,13 @@ class TestFigure4And5:
             assert by_alg["correct"] == min(by_alg.values())
 
     def test_nn_direction_is_fastest(self, fig4):
+        # Deterministic cost model (LP constraint rows + page accesses)
+        # instead of wall-clock, which is noisy at toy scale: NN-Direction
+        # feeds the solver the fewest constraints and touches the fewest
+        # pages, so it must do the least construction work.
         for dim in (2, 4):
             rows = [r for r in fig4.rows if r["dim"] == dim]
-            by_alg = {r["algorithm"]: r["build_seconds"] for r in rows}
+            by_alg = {r["algorithm"]: r["build_cost"] for r in rows}
             assert by_alg["nn-direction"] == min(by_alg.values())
 
     def test_figure5_derived_from_figure4(self, fig4):

@@ -1,0 +1,142 @@
+"""Exporters: CSV/table rendering and profile JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs import export, tracing
+from repro.obs.export import (
+    PROFILE_FORMAT_VERSION,
+    load_profile,
+    metrics_to_csv,
+    metrics_to_dict,
+    metrics_table,
+    span_to_dict,
+    stats_table,
+    trace_to_list,
+    write_profile,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, span
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("lp.solves", 12)
+    reg.inc("storage.cache.hits", 5)
+    reg.set_gauge("tree.height", 3)
+    for v in (2.0, 4.0, 6.0):
+        reg.observe("query.candidates", v)
+    return reg
+
+
+@pytest.fixture()
+def tracer():
+    t = tracing.enable(Tracer())
+    with span("query.nearest", dim=4):
+        with span("query.point_query") as s:
+            s.set("pages", 5)
+        with span("query.candidate_scan") as s:
+            s.set("candidates", 9)
+    tracing.disable()
+    return t
+
+
+class TestMetricsExport:
+    def test_dict_view(self, registry):
+        data = metrics_to_dict(registry)
+        assert data["counters"]["lp.solves"] == 12.0
+        assert data["gauges"]["tree.height"] == 3.0
+        hist = data["histograms"]["query.candidates"]
+        assert hist["count"] == 3 and hist["mean"] == pytest.approx(4.0)
+
+    def test_csv_is_flat_and_headed(self, registry):
+        lines = metrics_to_csv(registry).splitlines()
+        assert lines[0] == "metric,kind,value"
+        assert "lp.solves,counter,12" in lines
+        assert "tree.height,gauge,3" in lines
+        assert any(
+            line.startswith("query.candidates.p50,histogram,")
+            for line in lines
+        )
+
+    def test_metrics_table_renders(self, registry):
+        text = metrics_table(registry, "Live metrics").render()
+        assert "Live metrics" in text
+        assert "lp.solves" in text and "counter" in text
+
+    def test_stats_table_sorted_rows(self):
+        table = stats_table({"b": 2.0, "a": 1.0}, "Stats")
+        assert table.column("statistic") == ["a", "b"]
+        assert "Stats" in table.render()
+
+
+class TestTraceExport:
+    def test_span_to_dict_nests(self, tracer):
+        (root,) = tracer.spans
+        doc = span_to_dict(root)
+        assert doc["name"] == "query.nearest"
+        assert doc["attributes"] == {"dim": 4}
+        assert [c["name"] for c in doc["children"]] == [
+            "query.point_query", "query.candidate_scan",
+        ]
+        assert doc["children"][0]["attributes"] == {"pages": 5}
+        assert all(c["duration_seconds"] >= 0 for c in doc["children"])
+
+    def test_trace_to_list_handles_missing_tracer(self, tracer):
+        assert trace_to_list(None) == []
+        assert len(trace_to_list(tracer)) == 1
+
+
+class TestProfileDocument:
+    def test_write_and_load_round_trip(self, tmp_path, registry, tracer):
+        path = tmp_path / "profile.json"
+        written = write_profile(
+            path, registry, tracer, meta={"command": "query", "dim": 4}
+        )
+        loaded = load_profile(path)
+        assert loaded == written
+        assert loaded["format_version"] == PROFILE_FORMAT_VERSION
+        assert loaded["meta"] == {"command": "query", "dim": 4}
+        assert loaded["metrics"]["counters"]["lp.solves"] == 12.0
+        assert loaded["trace"][0]["name"] == "query.nearest"
+
+    def test_written_file_is_plain_json(self, tmp_path, registry):
+        path = tmp_path / "profile.json"
+        write_profile(path, registry)
+        document = json.loads(path.read_text())
+        assert set(document) == {
+            "format_version", "meta", "metrics", "trace",
+        }
+
+    def test_empty_profile_still_valid(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_profile(path)
+        loaded = load_profile(path)
+        assert loaded["metrics"]["counters"] == {}
+        assert loaded["trace"] == []
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError):
+            load_profile(path)
+
+
+class TestExportStaysLazy:
+    def test_obs_import_does_not_pull_eval(self):
+        """repro.obs must stay dependency-free: importing it (as the
+        storage/lp layers do) cannot drag in the evaluation stack."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; import repro.obs.export; "
+            "assert 'repro.eval.reporting' not in sys.modules, "
+            "'obs.export eagerly imported repro.eval'"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr

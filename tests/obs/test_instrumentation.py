@@ -1,0 +1,133 @@
+"""End-to-end instrumentation: pipeline metrics and traces line up with
+the ground truth the query path already reports (``QueryInfo``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import SelectorKind
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.data import uniform_points
+from repro.eval.harness import measure_nncell_queries
+from repro.obs import metrics, tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    metrics.disable()
+    metrics.get_registry().reset()
+    tracing.disable()
+    yield
+    metrics.disable()
+    metrics.get_registry().reset()
+    tracing.disable()
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(60, 3, seed=11)
+
+
+class TestBuildInstrumentation:
+    def test_build_counters(self, points):
+        from repro.core.approximation import lp_call_count
+
+        lp_before = lp_call_count()
+        with metrics.collecting(fresh=True) as reg:
+            NNCellIndex.build(points)
+        snap = reg.snapshot()
+        assert snap["build.cells"] == len(points)
+        assert snap["build.rectangles"] >= len(points)
+        # Every cell is approximated at least once (retries allowed).
+        assert snap["cell.approximations"] >= len(points)
+        # The counter agrees with the legacy module-level LP-call count,
+        # and during a build all LP solves come from cell approximation.
+        assert snap["cell.lp_calls"] == lp_call_count() - lp_before
+        assert snap["lp.solves"] == snap["cell.lp_calls"]
+        assert snap["lp.constraint_rows"] > 0
+        assert snap["selector.systems"] >= len(points)
+
+    def test_build_trace_structure(self, points):
+        with tracing.collecting() as tracer:
+            NNCellIndex.build(points)
+        (root,) = tracer.spans
+        assert root.name == "build.nncell"
+        assert root.attributes["n_points"] == len(points)
+        child_names = [c.name for c in root.children]
+        assert child_names == ["build.data_tree", "build.cells",
+                               "build.cell_tree"]
+        assert sum(c.duration_seconds for c in root.children) <= (
+            root.duration_seconds + 1e-6
+        )
+
+
+class TestQueryInstrumentation:
+    def test_trace_attributes_match_query_info(self, points):
+        """Acceptance gate: the recorded spans report the same pages and
+        candidate counts as the QueryInfo the query itself returns."""
+        index = NNCellIndex.build(points)
+        q = np.full(3, 0.5)
+        with metrics.collecting(fresh=True) as reg:
+            with tracing.collecting() as tracer:
+                __, __, info = index.nearest(q)
+        (root,) = tracer.spans
+        assert root.name == "query.nearest"
+        assert root.attributes["pages"] == info.pages
+        assert root.attributes["candidates"] == info.n_candidates
+        by_name = {c.name: c for c in root.children}
+        assert by_name["query.point_query"].attributes["pages"] == info.pages
+        assert (
+            by_name["query.candidate_scan"].attributes["candidates"]
+            == info.n_candidates
+        )
+        snap = reg.snapshot()
+        assert snap["query.count"] == 1
+        assert snap["query.pages.sum"] == info.pages
+        assert snap["query.candidates.sum"] == info.n_candidates
+
+    def test_k_nearest_trace(self, points):
+        index = NNCellIndex.build(points)
+        with tracing.collecting() as tracer:
+            ids, __, info = index.k_nearest(np.full(3, 0.4), k=3)
+        assert len(ids) == 3
+        (root,) = tracer.spans
+        assert root.name == "query.k_nearest"
+        assert root.attributes["k"] == 3
+        assert [c.name for c in root.children][0] == "query.point_query"
+
+    def test_correct_selector_counts_no_pages(self, points):
+        """The Correct selector never queries the data index, so a build
+        records zero storage reads — the property the figure-4 cost
+        model (build_pages column) relies on."""
+        with metrics.collecting(fresh=True) as reg:
+            NNCellIndex.build(
+                points, BuildConfig(selector=SelectorKind.CORRECT)
+            )
+        assert "storage.logical_reads" not in reg.snapshot()
+
+    def test_fallback_counter_and_span(self, points):
+        index = NNCellIndex.build(points)
+        outside = np.full(3, 2.0)  # outside the data box -> fallback path
+        with metrics.collecting(fresh=True) as reg:
+            with tracing.collecting() as tracer:
+                __, __, info = index.nearest(outside)
+        assert info.fallback
+        assert reg.snapshot().get("query.fallbacks") == 1
+        assert tracer.find("query.fallback")
+
+
+class TestHarnessIntegration:
+    def test_measurement_carries_metrics_delta(self, points):
+        index = NNCellIndex.build(points)
+        queries = uniform_points(4, 3, seed=12)
+        with metrics.collecting(fresh=True):
+            meas = measure_nncell_queries(index, queries)
+        assert meas.metrics["query.count"] == 4
+        assert meas.metrics["query.pages.sum"] == meas.pages
+        assert meas.metrics["query.candidates.sum"] == meas.candidates
+
+    def test_measurement_metrics_empty_when_disabled(self, points):
+        index = NNCellIndex.build(points)
+        queries = uniform_points(3, 3, seed=13)
+        meas = measure_nncell_queries(index, queries)
+        assert meas.metrics == {}
+        assert meas.n_queries == 3

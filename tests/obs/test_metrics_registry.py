@@ -1,0 +1,195 @@
+"""Registry semantics: counters, gauges, histograms, snapshots, threads."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    HISTOGRAM_SAMPLE_CAP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    """Every test starts disabled with an empty process-wide registry."""
+    metrics.disable()
+    metrics.get_registry().reset()
+    yield
+    metrics.disable()
+    metrics.get_registry().reset()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("x")
+        for v in (4.0, 1.0, 7.0, 2.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 14.0
+        assert h.min == 1.0 and h.max == 7.0
+        assert h.mean == pytest.approx(3.5)
+
+    def test_percentiles_interpolate(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+
+    def test_empty_summary_is_all_zero(self):
+        assert Histogram("x").summary() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_sample_cap_keeps_aggregates_exact(self):
+        h = Histogram("x")
+        for __ in range(HISTOGRAM_SAMPLE_CAP + 10):
+            h.observe(1.0)
+        assert h.count == HISTOGRAM_SAMPLE_CAP + 10
+        assert len(h._samples) == HISTOGRAM_SAMPLE_CAP
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_snapshot_and_delta(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 3)
+        reg.observe("sizes", 10)
+        before = reg.snapshot()
+        assert before == {"hits": 3.0, "sizes.count": 1.0, "sizes.sum": 10.0}
+        reg.inc("hits")
+        reg.inc("misses", 2)
+        delta = reg.delta_since(before)
+        # Only what changed, including the brand-new counter.
+        assert delta == {"hits": 1.0, "misses": 2.0}
+
+    def test_snapshot_excludes_gauges(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("height", 4)
+        assert reg.snapshot() == {}
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("b", 1)
+        reg.observe("c", 1)
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_as_dict_structure(self):
+        reg = MetricsRegistry()
+        reg.inc("z.counter", 2)
+        reg.set_gauge("gauge", 7)
+        reg.observe("hist", 5)
+        data = reg.as_dict()
+        assert data["counters"] == {"z.counter": 2.0}
+        assert data["gauges"] == {"gauge": 7.0}
+        assert data["histograms"]["hist"]["count"] == 1
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+        n_threads, n_events = 8, 2000
+
+        def worker():
+            for __ in range(n_events):
+                reg.inc("shared")
+                reg.observe("sizes", 1.0)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for f in [pool.submit(worker) for __ in range(n_threads)]:
+                f.result()
+        assert reg.counter("shared").value == n_threads * n_events
+        assert reg.histogram("sizes").count == n_threads * n_events
+
+
+class TestModuleFastPath:
+    def test_disabled_events_are_dropped(self):
+        metrics.inc("a")
+        metrics.observe("b", 1)
+        metrics.set_gauge("c", 1)
+        assert len(metrics.get_registry()) == 0
+        assert not metrics.enabled()
+
+    def test_enable_records_then_disable_stops(self):
+        metrics.enable()
+        metrics.inc("a", 2)
+        metrics.disable()
+        metrics.inc("a", 100)  # dropped
+        assert metrics.snapshot() == {"a": 2.0}
+
+    def test_collecting_restores_previous_state(self):
+        assert not metrics.enabled()
+        with metrics.collecting() as reg:
+            assert metrics.enabled()
+            metrics.inc("inside")
+        assert not metrics.enabled()
+        assert reg.snapshot() == {"inside": 1.0}
+
+    def test_collecting_fresh_clears_registry(self):
+        metrics.enable()
+        metrics.inc("stale")
+        with metrics.collecting(fresh=True) as reg:
+            assert reg.snapshot() == {}
+            metrics.inc("new")
+        # Outer scope was enabled, so recording stays on afterwards.
+        assert metrics.enabled()
+        assert metrics.snapshot() == {"new": 1.0}
+
+    def test_noop_overhead_is_bounded(self):
+        """Disabled inc() must stay within a small multiple of a plain
+        no-op function call — the "cheap when disabled" contract."""
+        import timeit
+
+        def nop():
+            return None
+
+        n = 50_000
+        base = min(
+            timeit.repeat(nop, number=n, repeat=5)
+        )
+        instrumented = min(
+            timeit.repeat(lambda: metrics.inc("x"), number=n, repeat=5)
+        )
+        # Generous bound: one extra boolean check should never cost more
+        # than 20x an empty call even on noisy CI machines.
+        assert instrumented < base * 20

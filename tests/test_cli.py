@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.obs.export import load_profile
 
 
 def run(capsys, *argv):
@@ -104,6 +105,79 @@ class TestErrorHandling:
             capsys, "experiment", "figure2", "--param", "oops",
         )
         assert code == 1
+
+
+class TestStatsCommand:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        return out
+
+    def test_stats_prints_table(self, index_path, capsys):
+        code, stdout, __ = run(capsys, "stats", str(index_path))
+        assert code == 0
+        assert "Index statistics" in stdout
+        assert "expected_candidates" in stdout
+
+    def test_stats_live_collects_metrics(self, index_path, capsys):
+        code, stdout, __ = run(
+            capsys, "stats", str(index_path), "--live", "--queries", "5",
+        )
+        assert code == 0
+        assert "Live metrics (5 sample queries)" in stdout
+        assert "query.count" in stdout
+
+    def test_info_and_stats_share_statistics_rendering(
+        self, index_path, capsys
+    ):
+        __, info_out, __ = run(capsys, "info", str(index_path))
+        __, stats_out, __ = run(capsys, "stats", str(index_path))
+        # Both paths render through export.stats_table: same rows.
+        info_rows = [l for l in info_out.splitlines()
+                     if "expected_candidates" in l]
+        stats_rows = [l for l in stats_out.splitlines()
+                      if "expected_candidates" in l]
+        assert info_rows == stats_rows
+
+
+class TestProfileFlag:
+    def test_build_profile_document(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        profile = tmp_path / "build_profile.json"
+        code, stdout, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out), "--profile", str(profile),
+        )
+        assert code == 0
+        assert f"(profile written to {profile})" in stdout
+        doc = load_profile(profile)
+        assert doc["meta"]["command"] == "build"
+        assert doc["metrics"]["counters"]["build.cells"] == 30
+        root_names = [s["name"] for s in doc["trace"]]
+        assert "build.nncell" in root_names
+
+    def test_query_profile_has_nested_spans(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        profile = tmp_path / "query_profile.json"
+        run(capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out))
+        code, stdout, __ = run(
+            capsys, "query", str(out), "--point", "0.5,0.5,0.5",
+            "--profile", str(profile),
+        )
+        assert code == 0
+        doc = load_profile(profile)
+        assert doc["meta"]["command"] == "query"
+        (root,) = [s for s in doc["trace"] if s["name"] == "query.nearest"]
+        child_names = [c["name"] for c in root["children"]]
+        assert "query.point_query" in child_names
+        assert "query.candidate_scan" in child_names
+        assert doc["metrics"]["counters"]["query.count"] == 1
 
 
 class TestExperimentCommand:
