@@ -67,12 +67,14 @@ from .index import (
     rkv_nearest,
 )
 from . import obs
+from .engine import BatchQueryInfo
 from .storage import AccessStats, PageManager
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccessStats",
+    "BatchQueryInfo",
     "BuildConfig",
     "CandidateSelector",
     "DecompositionConfig",

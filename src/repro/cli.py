@@ -15,10 +15,18 @@ Wraps the library's main workflows for shell use:
 :mod:`repro.obs` metrics and tracing enabled and writes a profile JSON
 document (counters, histograms, nested spans) to ``PATH``.
 
+``build --workers N`` runs cell construction on ``N`` parallel workers
+(``0`` = all CPU cores) — the built index is identical to a serial build.
+``query --batch FILE`` answers every query point in ``FILE`` through one
+batched index walk instead of one walk per query (docs/scaling.md).
+
 Examples::
 
     python -m repro build --dataset uniform --n 500 --dim 6 --out idx.npz
+    python -m repro build --dataset uniform --n 2000 --dim 16 \
+        --selector nn-direction --workers 0 --out idx.npz
     python -m repro query idx.npz --point 0.5,0.5,0.5,0.5,0.5,0.5 -k 3
+    python -m repro query idx.npz --batch queries.npy
     python -m repro info idx.npz
     python -m repro stats idx.npz --live
     python -m repro build --dataset uniform --n 200 --dim 4 \
@@ -103,22 +111,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="decompose cells (Section 3)")
     build.add_argument("--k-max", type=int, default=100,
                        help="decomposition budget")
+    build.add_argument("--workers", type=int, default=1,
+                       help="parallel cell-construction workers"
+                            " (0 = all CPU cores; see docs/scaling.md)")
+    build.add_argument("--executor", choices=["process", "thread"],
+                       default="process",
+                       help="worker pool kind for --workers > 1")
     build.add_argument("--out", type=Path, required=True,
                        help="output .npz archive")
-    build.add_argument("--profile", type=Path, metavar="PATH",
-                       help="write a metrics+trace profile JSON")
+    _add_profile_argument(build)
     build.set_defaults(handler=_cmd_build)
 
     query = sub.add_parser("query", help="query a saved index")
     query.add_argument("index", type=Path)
-    query.add_argument(
-        "--point", required=True,
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--point",
         help="comma-separated query coordinates",
     )
+    what.add_argument(
+        "--batch", type=Path, metavar="FILE",
+        help=".npy or .csv file of query points, answered in one"
+             " batched index walk",
+    )
     query.add_argument("-k", type=int, default=1,
-                       help="number of neighbors")
-    query.add_argument("--profile", type=Path, metavar="PATH",
-                       help="write a metrics+trace profile JSON")
+                       help="number of neighbors (with --point)")
+    query.add_argument("--batch-size", type=int, default=None,
+                       help="queries per batched walk (with --batch;"
+                            " default: the whole file at once)")
+    _add_profile_argument(query)
     query.set_defaults(handler=_cmd_query)
 
     info = sub.add_parser("info", help="statistics of a saved index")
@@ -159,6 +180,20 @@ def _build_parser() -> argparse.ArgumentParser:
 # Command handlers
 # ----------------------------------------------------------------------
 
+def _add_profile_argument(subparser: argparse.ArgumentParser) -> None:
+    """The shared ``--profile PATH`` option of build and query."""
+    subparser.add_argument("--profile", type=Path, metavar="PATH",
+                           help="write a metrics+trace profile JSON")
+
+
+def _require_parent_dir(path: Path, what: str) -> None:
+    """Fail before the expensive build/query, not after, when an output
+    path cannot possibly be written."""
+    parent = path.parent
+    if not parent.is_dir():
+        raise OSError(f"{what} directory {parent} does not exist")
+
+
 @contextmanager
 def _profiled(path: "Path | None", **meta):
     """Run a block under metrics + tracing; write profile JSON to ``path``.
@@ -168,10 +203,7 @@ def _profiled(path: "Path | None", **meta):
     if path is None:
         yield
         return
-    parent = path.parent
-    if not parent.is_dir():
-        # Fail before the expensive build/query, not after.
-        raise OSError(f"profile directory {parent} does not exist")
+    _require_parent_dir(path, "profile")
     with obs_metrics.collecting(fresh=True) as registry:
         with obs_tracing.collecting() as tracer:
             yield
@@ -185,6 +217,7 @@ def _print_stats(stats: dict, title: str) -> None:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    _require_parent_dir(args.out, "output")
     if args.dataset:
         points = make_dataset(
             args.dataset, **_dataset_params(args)
@@ -198,9 +231,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
         ),
         decompose=args.decompose,
         decomposition=DecompositionConfig(k_max=args.k_max),
+        workers=args.workers,
+        executor=args.executor,
     )
     with _profiled(args.profile, command="build",
                    selector=args.selector,
+                   workers=args.workers,
                    n_points=int(points.shape[0]),
                    dim=int(points.shape[1])):
         index = NNCellIndex.build(points, config)
@@ -231,6 +267,8 @@ def _load_points(path: Path) -> np.ndarray:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
+    if args.batch is not None:
+        return _query_batch_file(args, index)
     point = _parse_point(args.point, index.dim)
     with _profiled(args.profile, command="query", k=args.k,
                    dim=index.dim):
@@ -246,6 +284,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(
         f"candidates: {info.n_candidates}, pages: {info.pages}, "
         f"fallback: {info.fallback}"
+    )
+    return 0
+
+
+#: --batch prints every answer up to this many queries, then summarises.
+_BATCH_PRINT_LIMIT = 20
+
+
+def _query_batch_file(args: argparse.Namespace, index) -> int:
+    if args.k != 1:
+        raise ValueError("--batch answers 1-NN queries; -k must be 1")
+    queries = _load_points(args.batch)
+    if queries.ndim != 2 or queries.shape[1] != index.dim:
+        raise ValueError(
+            f"batch file must hold (m, {index.dim}) points, "
+            f"got shape {queries.shape}"
+        )
+    with _profiled(args.profile, command="query-batch",
+                   n_queries=int(queries.shape[0]), dim=index.dim):
+        ids, dists, info = index.query_batch(
+            queries, batch_size=args.batch_size
+        )
+    shown = min(len(ids), _BATCH_PRINT_LIMIT)
+    for i in range(shown):
+        print(f"query {i}  ->  point {ids[i]}  distance {dists[i]:.6f}")
+    if shown < len(ids):
+        print(f"... ({len(ids) - shown} more)")
+    print(
+        f"batch: {info.n_queries} queries, pages: {info.pages}, "
+        f"candidates: {info.n_candidates}, fallbacks: {info.fallbacks}"
     )
     return 0
 
@@ -297,6 +365,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             raise ValueError(f"--param expects KEY=VALUE, got {item!r}")
         key, __, raw = item.partition("=")
         params[key] = _parse_param(raw)
+    if args.csv:
+        _require_parent_dir(args.csv, "csv")
     table = _EXPERIMENTS[args.name](**params)
     print(table.render())
     if args.csv:

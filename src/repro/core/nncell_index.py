@@ -46,7 +46,15 @@ from .candidates import CandidateSelector, SelectorKind, SelectorParams
 from .constraints import cell_system
 from .decomposition import DecompositionConfig, decompose_cell
 
-__all__ = ["BuildConfig", "NNCellIndex", "QueryInfo"]
+__all__ = [
+    "BuildConfig",
+    "NNCellIndex",
+    "QueryInfo",
+    "approximate_system",
+    "compute_cell",
+    "load_data_tree",
+    "make_tree",
+]
 
 
 @dataclass(frozen=True)
@@ -73,12 +81,24 @@ class BuildConfig:
     bulk: bool = True
     query_atol: float = 1e-9
     data_space: "MBR | None" = None
+    #: Cell-construction parallelism (repro.engine): 1 = serial (default),
+    #: 0 = one worker per CPU core, N > 1 = exactly N workers.  The built
+    #: index is identical for every value — see docs/scaling.md.
+    workers: int = 1
+    executor: str = "process"  # "process" | "thread"
+    build_chunk_size: "int | None" = None  # points per work unit
 
     def __post_init__(self):
         if self.index_kind not in ("xtree", "rstar"):
             raise ValueError("index_kind must be 'xtree' or 'rstar'")
         if self.query_atol < 0.0:
             raise ValueError("query_atol must be >= 0")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means all CPU cores)")
+        if self.executor not in ("process", "thread"):
+            raise ValueError("executor must be 'process' or 'thread'")
+        if self.build_chunk_size is not None and self.build_chunk_size < 1:
+            raise ValueError("build_chunk_size must be >= 1")
 
 
 @dataclass
@@ -90,6 +110,65 @@ class QueryInfo:
     distance_computations: int = 0
     fallback: bool = False  # branch-and-bound fallback was used
     retried_atol: bool = False  # point query repeated with looser tolerance
+
+
+# ======================================================================
+# Build pipeline primitives
+#
+# Module-level so the serial build, the dynamic-update paths and the
+# parallel workers of :mod:`repro.engine.parallel` run the *same* code —
+# worker processes rebuild identical read-only state from these functions,
+# which is what makes parallel construction bit-identical to serial.
+# ======================================================================
+
+def make_tree(dim: int, config: BuildConfig, leaf_entry_bytes: int) -> RStarTree:
+    """An empty index tree of the configured kind and page geometry."""
+    tree_cls = XTree if config.index_kind == "xtree" else RStarTree
+    return tree_cls(
+        dim,
+        page_size=config.page_size,
+        cache_pages=config.cache_pages,
+        leaf_entry_bytes=leaf_entry_bytes,
+    )
+
+
+def load_data_tree(
+    tree: RStarTree, points: np.ndarray, config: BuildConfig
+) -> RStarTree:
+    """Fill an empty data tree with ``points`` (bulk STR or insertion)."""
+    n = points.shape[0]
+    if config.bulk and n > 1:
+        bulk_load(tree, points, points, np.arange(n))
+    else:
+        for i in range(n):
+            tree.insert_point(points[i], int(i))
+    return tree
+
+
+def approximate_system(
+    system: HalfspaceSystem, center: np.ndarray, config: BuildConfig
+) -> "List[MBR]":
+    """MBR approximation (Definition 3), optionally decomposed (Def. 5)."""
+    mbr = approximate_cell(system, backend=config.lp_backend, center=center)
+    if mbr is None:  # pragma: no cover - full cells contain their centre
+        raise RuntimeError("NN-cell approximation unexpectedly empty")
+    if not config.decompose:
+        return [mbr]
+    decomposition = replace(config.decomposition, lp_backend=config.lp_backend)
+    return decompose_cell(system, mbr, decomposition)
+
+
+def compute_cell(
+    points: np.ndarray,
+    selector: CandidateSelector,
+    box: MBR,
+    config: BuildConfig,
+    point_id: int,
+) -> "Tuple[HalfspaceSystem, List[MBR]]":
+    """Candidate selection -> constraint system -> MBR (-> pieces)."""
+    candidates = selector.candidates(point_id)
+    system = cell_system(points, point_id, candidates, box)
+    return system, approximate_system(system, points[point_id], config)
 
 
 class NNCellIndex:
@@ -112,21 +191,14 @@ class NNCellIndex:
         self._systems: "Dict[int, HalfspaceSystem]" = {}
         self._cell_rects: "Dict[int, List[MBR]]" = {}
         self._referencing: "Dict[int, Set[int]]" = {}
-        tree_cls = XTree if self.config.index_kind == "xtree" else RStarTree
         # Data pages hold points (d coordinates + id); solution-space
         # pages hold a cell rectangle plus its owner's coordinates
         # (3d values + id) — the paper's "twice the size of the database".
-        self.data_tree: RStarTree = tree_cls(
-            self.dim,
-            page_size=self.config.page_size,
-            cache_pages=self.config.cache_pages,
-            leaf_entry_bytes=8 * self.dim + 8,
+        self.data_tree: RStarTree = make_tree(
+            self.dim, self.config, leaf_entry_bytes=8 * self.dim + 8
         )
-        self.cell_tree: RStarTree = tree_cls(
-            self.dim,
-            page_size=self.config.page_size,
-            cache_pages=self.config.cache_pages,
-            leaf_entry_bytes=3 * 8 * self.dim + 8,
+        self.cell_tree: RStarTree = make_tree(
+            self.dim, self.config, leaf_entry_bytes=3 * 8 * self.dim + 8
         )
         self._selector: "Optional[CandidateSelector]" = None
 
@@ -144,15 +216,16 @@ class NNCellIndex:
 
     def _build(self) -> None:
         n = self.points.shape[0]
-        ids = np.arange(n)
+        workers = self.config.workers
+        if workers != 1:
+            from ..engine.parallel import resolve_workers
+
+            workers = resolve_workers(workers)
         with span("build.nncell", n_points=n, dim=self.dim,
-                  selector=self.config.selector.value) as root:
+                  selector=self.config.selector.value,
+                  workers=workers) as root:
             with span("build.data_tree"):
-                if self.config.bulk and n > 1:
-                    bulk_load(self.data_tree, self.points, self.points, ids)
-                else:
-                    for i in range(n):
-                        self.data_tree.insert_point(self.points[i], int(i))
+                load_data_tree(self.data_tree, self.points, self.config)
             self._selector = CandidateSelector(
                 self.points,
                 self.data_tree,
@@ -162,9 +235,18 @@ class NNCellIndex:
             all_lows: "List[np.ndarray]" = []
             all_highs: "List[np.ndarray]" = []
             all_ids: "List[int]" = []
-            with span("build.cells"):
-                for point_id in range(n):
-                    system, rects = self._compute_cell(int(point_id))
+            with span("build.cells", workers=workers):
+                if workers > 1:
+                    from ..engine.parallel import parallel_cells
+
+                    cells = parallel_cells(
+                        self.points, self.config, workers=workers
+                    )
+                else:
+                    cells = (
+                        self._compute_cell(int(i)) for i in range(n)
+                    )
+                for point_id, (system, rects) in enumerate(cells):
                     self._register_cell(int(point_id), system, rects)
                     for rect in rects:
                         all_lows.append(rect.low)
@@ -189,24 +271,14 @@ class NNCellIndex:
         self, point_id: int
     ) -> "Tuple[HalfspaceSystem, List[MBR]]":
         """Candidate selection -> constraint system -> MBR (-> pieces)."""
-        candidates = self._selector.candidates(point_id)
-        system = cell_system(self.points, point_id, candidates, self.box)
-        return system, self._approximate(system, self.points[point_id])
+        return compute_cell(
+            self.points, self._selector, self.box, self.config, point_id
+        )
 
     def _approximate(
         self, system: HalfspaceSystem, center: np.ndarray
     ) -> "List[MBR]":
-        mbr = approximate_cell(
-            system, backend=self.config.lp_backend, center=center
-        )
-        if mbr is None:  # pragma: no cover - full cells contain their centre
-            raise RuntimeError("NN-cell approximation unexpectedly empty")
-        if not self.config.decompose:
-            return [mbr]
-        decomposition = replace(
-            self.config.decomposition, lp_backend=self.config.lp_backend
-        )
-        return decompose_cell(system, mbr, decomposition)
+        return approximate_system(system, center, self.config)
 
     # ------------------------------------------------------------------
     # Cell bookkeeping
@@ -408,17 +480,29 @@ class NNCellIndex:
         dist_sq = distances_to_points(c, self.points[candidates])
         return candidates[dist_sq <= radius * radius + 1e-12]
 
+    def query_batch(
+        self, queries: np.ndarray, batch_size: "int | None" = None
+    ) -> "Tuple[np.ndarray, np.ndarray, 'BatchQueryInfo']":
+        """Answer many NN queries in one batched index walk.
+
+        Returns ``(ids, distances, info)`` where ``info`` aggregates page
+        and candidate traffic over the whole batch.  Results are
+        identical to calling :meth:`nearest` per row (the parity suite
+        asserts this bit-for-bit), but the tree descent is shared: every
+        index node along the batch's paths is read *once*, not once per
+        query.  ``batch_size`` caps the number of queries walked
+        together, bounding the working-set memory of the vectorised
+        containment tests.  See :mod:`repro.engine.batch`.
+        """
+        from ..engine.batch import query_batch
+
+        return query_batch(self, queries, batch_size=batch_size)
+
     def nearest_batch(
         self, queries: np.ndarray
     ) -> "Tuple[np.ndarray, np.ndarray]":
         """Vectorised convenience: NN ids and distances for many queries."""
-        qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if qs.shape[1] != self.dim:
-            raise ValueError(f"queries must be (m, {self.dim})")
-        ids = np.empty(qs.shape[0], dtype=np.int64)
-        dists = np.empty(qs.shape[0])
-        for i, q in enumerate(qs):
-            ids[i], dists[i], __ = self.nearest(q)
+        ids, dists, __ = self.query_batch(queries)
         return ids, dists
 
     # ==================================================================

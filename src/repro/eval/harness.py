@@ -26,10 +26,13 @@ from ..index.linear_scan import LinearScan
 from ..index.nnsearch import hs_nearest, rkv_nearest
 from ..index.rstar import RStarTree
 from ..obs import metrics as obs_metrics
+from .reporting import ResultTable
 
 __all__ = [
     "CostModel",
     "QueryMeasurement",
+    "batch_throughput_table",
+    "measure_nncell_batch_queries",
     "measure_nncell_queries",
     "measure_tree_queries",
     "measure_scan_queries",
@@ -79,6 +82,15 @@ class QueryMeasurement:
             "distance_computations": self.distance_computations / n,
             "candidates": self.candidates / n,
         }
+
+    def throughput_qps(
+        self, cost_model: "CostModel | None" = None
+    ) -> float:
+        """Modelled queries per second over the whole workload."""
+        total = self.total_seconds(cost_model)
+        if total <= 0.0:
+            return float("inf") if self.n_queries else 0.0
+        return self.n_queries / total
 
 
 class Timer:
@@ -144,6 +156,82 @@ def measure_tree_queries(
     if before is not None:
         meas.metrics = obs_metrics.delta_since(before)
     return meas
+
+
+def measure_nncell_batch_queries(
+    index: NNCellIndex,
+    queries: np.ndarray,
+    batch_size: "int | None" = None,
+    drop_cache: bool = True,
+) -> QueryMeasurement:
+    """Run a workload through :meth:`NNCellIndex.query_batch`.
+
+    The batched counterpart of :func:`measure_nncell_queries`: the cache
+    is dropped once before the batch (cold start), after which the walk
+    amortises page reads across the whole workload — the regime a
+    high-traffic serving deployment runs in.
+    """
+    qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    meas = QueryMeasurement("nn-cell-batch")
+    before = obs_metrics.snapshot() if obs_metrics.enabled() else None
+    if drop_cache:
+        index.cell_tree.pages.drop_cache()
+    with Timer() as timer:
+        __, __, info = index.query_batch(qs, batch_size=batch_size)
+    meas.n_queries = info.n_queries
+    meas.cpu_seconds = timer.seconds
+    meas.pages = info.pages
+    meas.distance_computations = info.distance_computations
+    meas.candidates = info.n_candidates
+    meas.extra["fallbacks"] = float(info.fallbacks)
+    meas.extra["batches"] = float(info.n_batches)
+    if before is not None:
+        meas.metrics = obs_metrics.delta_since(before)
+    return meas
+
+
+def batch_throughput_table(
+    index: NNCellIndex,
+    queries: np.ndarray,
+    batch_sizes: "Sequence[int | None]" = (16, 64, None),
+    cost_model: "CostModel | None" = None,
+) -> ResultTable:
+    """Serial vs batched throughput of one index over one workload.
+
+    One row per mode: the serial per-query loop first (the baseline the
+    speedup column is relative to), then :meth:`NNCellIndex.query_batch`
+    at each requested ``batch_size`` (``None`` = the whole workload in
+    one walk).  Throughput is modelled via ``cost_model`` so the I/O
+    amortisation is visible alongside CPU vectorisation gains.
+    """
+    qs = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    table = ResultTable(
+        "Query throughput: serial vs batched",
+        ["mode", "batch_size", "cpu_ms_per_query", "pages_per_query",
+         "throughput_qps", "speedup_over_serial"],
+    )
+    serial = measure_nncell_queries(index, qs)
+    serial_qps = serial.throughput_qps(cost_model)
+    table.add_row(
+        mode="serial",
+        batch_size=1,
+        cpu_ms_per_query=serial.per_query()["cpu_ms"],
+        pages_per_query=serial.per_query()["pages"],
+        throughput_qps=serial_qps,
+        speedup_over_serial=1.0,
+    )
+    for batch_size in batch_sizes:
+        meas = measure_nncell_batch_queries(index, qs, batch_size=batch_size)
+        qps = meas.throughput_qps(cost_model)
+        table.add_row(
+            mode="batch",
+            batch_size=qs.shape[0] if batch_size is None else batch_size,
+            cpu_ms_per_query=meas.per_query()["cpu_ms"],
+            pages_per_query=meas.per_query()["pages"],
+            throughput_qps=qps,
+            speedup_over_serial=qps / serial_qps if serial_qps else float("inf"),
+        )
+    return table
 
 
 def measure_scan_queries(

@@ -8,6 +8,14 @@ sorted and tiled into slabs recursively per dimension, packing nodes to a
 configurable fill grade, then the directory is built bottom-up the same
 way.  Dynamic insertion remains available and is what the dynamic-update
 experiments use.
+
+**Invariant (load-bearing for** :mod:`repro.engine.parallel` **):** bulk
+loading is a pure function of its inputs — identical entries in
+identical order produce an identical tree.  Every build worker rebuilds
+its data tree through this path, and the engine's bit-identical parity
+guarantee (docs/scaling.md) breaks if any tie-break here becomes
+order- or scheduling-dependent.  ``tests/engine/test_parallel_build.py``
+pins this down to the node bytes.
 """
 
 from __future__ import annotations

@@ -1,0 +1,166 @@
+"""Parity suite: parallel cell construction is bit-identical to serial.
+
+The determinism guarantee of :mod:`repro.engine.parallel` — same cells,
+same constraint systems, same tree pages, for every worker count,
+executor kind and chunk size.  This is what lets ``--workers`` be a pure
+throughput knob with no semantic surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import SelectorKind
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.data import uniform_points
+from repro.engine.parallel import CellWorkshop, chunk_ids, resolve_workers
+
+
+def tree_signature(tree):
+    """Full structural fingerprint: every node's bounds and ids, in a
+    deterministic traversal order."""
+    signature = []
+    stack = [tree.root_id]
+    while stack:
+        node = tree._read(stack.pop())
+        signature.append((
+            node.is_leaf,
+            node.level,
+            node.lows.tobytes(),
+            node.highs.tobytes(),
+            node.ids.tobytes(),
+        ))
+        if not node.is_leaf:
+            stack.extend(int(i) for i in node.ids)
+    return signature
+
+
+def cells_signature(index):
+    """Byte-exact record of every cell: system rows, ids, rectangles."""
+    signature = []
+    for point_id in sorted(index._cell_rects):
+        system = index._systems[point_id]
+        rects = index._cell_rects[point_id]
+        signature.append((
+            point_id,
+            system.a.tobytes(),
+            system.b.tobytes(),
+            system.point_ids.tobytes(),
+            tuple((r.low.tobytes(), r.high.tobytes()) for r in rects),
+        ))
+    return signature
+
+
+def build(points, **overrides):
+    defaults = dict(selector=SelectorKind.NN_DIRECTION)
+    defaults.update(overrides)
+    return NNCellIndex.build(points, BuildConfig(**defaults))
+
+
+class TestParity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_process_build_identical(self, seed, workers):
+        points = uniform_points(48, 3, seed=seed)
+        serial = build(points)
+        parallel = build(points, workers=workers)
+        assert cells_signature(serial) == cells_signature(parallel)
+        assert tree_signature(serial.cell_tree) == tree_signature(
+            parallel.cell_tree
+        )
+        assert tree_signature(serial.data_tree) == tree_signature(
+            parallel.data_tree
+        )
+
+    def test_thread_build_identical(self):
+        points = uniform_points(40, 3, seed=3)
+        serial = build(points)
+        threaded = build(points, workers=2, executor="thread")
+        assert cells_signature(serial) == cells_signature(threaded)
+        assert tree_signature(serial.cell_tree) == tree_signature(
+            threaded.cell_tree
+        )
+
+    def test_sphere_selector_and_chunk_size_invariance(self):
+        points = uniform_points(36, 2, seed=11)
+        serial = build(points, selector=SelectorKind.SPHERE)
+        for chunk_size in (1, 5, 100):
+            parallel = build(
+                points,
+                selector=SelectorKind.SPHERE,
+                workers=2,
+                executor="thread",
+                build_chunk_size=chunk_size,
+            )
+            assert cells_signature(serial) == cells_signature(parallel)
+
+    def test_decomposed_build_identical(self):
+        points = uniform_points(24, 2, seed=5)
+        serial = build(points, decompose=True)
+        parallel = build(points, decompose=True, workers=2)
+        assert cells_signature(serial) == cells_signature(parallel)
+        assert tree_signature(serial.cell_tree) == tree_signature(
+            parallel.cell_tree
+        )
+
+    def test_parallel_index_answers_queries(self):
+        points = uniform_points(50, 3, seed=2)
+        index = build(points, workers=2)
+        rng = np.random.default_rng(9)
+        for q in rng.uniform(size=(25, 3)):
+            pid, dist, __ = index.nearest(q)
+            diffs = points - q
+            brute = int(np.argmin(np.einsum("ij,ij->i", diffs, diffs)))
+            assert pid == brute
+
+
+class TestWorkshop:
+    def test_workshop_matches_serial_cells(self):
+        points = uniform_points(30, 2, seed=4)
+        serial = build(points)
+        workshop = CellWorkshop(points, serial.config)
+        for point_id in range(points.shape[0]):
+            system, rects = workshop.compute(point_id)
+            expected = serial._systems[point_id]
+            assert np.array_equal(system.a, expected.a)
+            assert np.array_equal(system.b, expected.b)
+            assert np.array_equal(system.point_ids, expected.point_ids)
+            assert len(rects) == len(serial._cell_rects[point_id])
+            for got, want in zip(rects, serial._cell_rects[point_id]):
+                assert np.array_equal(got.low, want.low)
+                assert np.array_equal(got.high, want.high)
+
+
+class TestChunking:
+    def test_chunks_cover_range_in_order(self):
+        chunks = chunk_ids(103, workers=4)
+        joined = np.concatenate(chunks)
+        assert np.array_equal(joined, np.arange(103))
+
+    def test_explicit_chunk_size(self):
+        chunks = chunk_ids(10, workers=2, chunk_size=3)
+        assert [c.tolist() for c in chunks] == [
+            [0, 1, 2], [3, 4, 5], [6, 7, 8], [9],
+        ]
+
+    def test_empty_workload(self):
+        assert chunk_ids(0, workers=2) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestConfigValidation:
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError):
+            BuildConfig(executor="fiber")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BuildConfig(workers=-2)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            BuildConfig(build_chunk_size=0)

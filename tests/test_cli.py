@@ -76,6 +76,86 @@ class TestBuildAndQuery:
         assert code == 0
 
 
+class TestParallelAndBatch:
+    def test_build_with_workers_matches_serial(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.npz"
+        parallel_out = tmp_path / "parallel.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "2", "--out", str(serial_out),
+        )
+        assert code == 0
+        code, stdout, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "2", "--out", str(parallel_out),
+            "--workers", "2", "--executor", "thread",
+        )
+        assert code == 0
+        assert "built index over 30 points" in stdout
+        serial = np.load(serial_out)
+        parallel = np.load(parallel_out)
+        assert sorted(serial.files) == sorted(parallel.files)
+        for name in serial.files:
+            assert np.array_equal(serial[name], parallel[name]), name
+
+    def test_query_batch_file(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "40",
+            "--dim", "3", "--out", str(out))
+        rng = np.random.default_rng(77)
+        batch = tmp_path / "queries.npy"
+        np.save(batch, rng.uniform(size=(25, 3)))
+        code, stdout, __ = run(
+            capsys, "query", str(out), "--batch", str(batch),
+            "--batch-size", "8",
+        )
+        assert code == 0
+        assert "query 0  ->  point" in stdout
+        assert "... (5 more)" in stdout
+        assert "batch: 25 queries" in stdout
+
+    def test_batch_rejects_k(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "10",
+            "--dim", "2", "--out", str(out))
+        batch = tmp_path / "q.npy"
+        np.save(batch, np.zeros((2, 2)))
+        code, __, stderr = run(
+            capsys, "query", str(out), "--batch", str(batch), "-k", "2",
+        )
+        assert code == 1
+        assert "-k must be 1" in stderr
+
+    def test_batch_rejects_wrong_shape(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "10",
+            "--dim", "2", "--out", str(out))
+        batch = tmp_path / "q.npy"
+        np.save(batch, np.zeros((2, 5)))
+        code, __, stderr = run(
+            capsys, "query", str(out), "--batch", str(batch),
+        )
+        assert code == 1
+        assert "batch file" in stderr
+
+    def test_batch_profile_document(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        profile = tmp_path / "batch_profile.json"
+        run(capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "2", "--out", str(out))
+        batch = tmp_path / "q.npy"
+        np.save(batch, np.random.default_rng(5).uniform(size=(6, 2)))
+        code, __, __ = run(
+            capsys, "query", str(out), "--batch", str(batch),
+            "--profile", str(profile),
+        )
+        assert code == 0
+        doc = load_profile(profile)
+        assert doc["meta"]["command"] == "query-batch"
+        assert doc["meta"]["n_queries"] == 6
+        assert doc["metrics"]["counters"]["query.batch.queries"] == 6
+
+
 class TestErrorHandling:
     def test_missing_point_file(self, tmp_path, capsys):
         code, __, stderr = run(

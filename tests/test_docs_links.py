@@ -1,0 +1,57 @@
+"""The repo's own docs must pass the link checker.
+
+Runs :mod:`tools.check_doc_links` over ``docs/`` and the root markdown
+files — any reference to a renamed or deleted file fails the suite, so
+documentation drift is caught by CI, not by readers.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_have_no_broken_references(checker, capsys):
+    assert checker.main([]) == 0
+    assert "doc links OK" in capsys.readouterr().out
+
+
+def test_checker_flags_broken_link(checker, tmp_path, capsys):
+    bad = tmp_path / "bad.md"
+    bad.write_text("See [the plan](missing_plan.md) for details.\n")
+    assert checker.main([str(bad)]) == 1
+    assert "missing_plan.md" in capsys.readouterr().err
+
+
+def test_checker_flags_dangling_path_mention(checker, tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("Tuning lives in docs/no_such_file.md now.\n")
+    assert checker.main([str(bad)]) == 1
+
+
+def test_checker_skips_external_and_anchor_links(checker, tmp_path, capsys):
+    ok = tmp_path / "ok.md"
+    ok.write_text(
+        "[web](https://example.com) [anchor](#section) "
+        "[mail](mailto:a@b.c)\n"
+    )
+    assert checker.main([str(ok)]) == 0
+
+
+def test_default_targets_cover_docs_and_readme(checker):
+    names = {p.name for p in checker.default_targets()}
+    assert "README.md" in names
+    assert "architecture.md" in names
