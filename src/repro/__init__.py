@@ -68,6 +68,7 @@ from .index import (
 )
 from . import obs
 from .engine import BatchQueryInfo
+from .serve import QueryResult, QueryService, ServeConfig
 from .storage import AccessStats, PageManager
 
 __version__ = "1.0.0"
@@ -86,7 +87,10 @@ __all__ = [
     "OrderKIndex",
     "PageManager",
     "QueryInfo",
+    "QueryResult",
+    "QueryService",
     "RStarTree",
+    "ServeConfig",
     "SelectorKind",
     "SelectorParams",
     "WeightedNNCellIndex",

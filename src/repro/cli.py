@@ -5,6 +5,8 @@ Wraps the library's main workflows for shell use:
 * ``build``  — precompute a solution-space index over a dataset (a
   generated workload or a ``.npy``/``.csv`` point file) and save it;
 * ``query``  — load a saved index and answer (k-)NN queries;
+* ``serve``  — run the concurrent micro-batching query service over a
+  saved index, speaking JSON-lines on stdin/stdout (docs/serving.md);
 * ``info``   — print a saved index's statistics;
 * ``stats``  — same statistics, plus ``--live`` metrics from a sample
   query workload run with instrumentation enabled;
@@ -27,6 +29,7 @@ Examples::
         --selector nn-direction --workers 0 --out idx.npz
     python -m repro query idx.npz --point 0.5,0.5,0.5,0.5,0.5,0.5 -k 3
     python -m repro query idx.npz --batch queries.npy
+    echo '[0.5, 0.5, 0.5, 0.5, 0.5, 0.5]' | python -m repro serve idx.npz
     python -m repro info idx.npz
     python -m repro stats idx.npz --live
     python -m repro build --dataset uniform --n 200 --dim 4 \
@@ -37,7 +40,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Sequence
@@ -54,6 +59,7 @@ from .eval import experiments as experiments_module
 from .obs import export as obs_export
 from .obs import metrics as obs_metrics
 from .obs import tracing as obs_tracing
+from .serve import QueryService, ServeConfig, ServeError
 
 __all__ = ["main"]
 
@@ -141,6 +147,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             " default: the whole file at once)")
     _add_profile_argument(query)
     query.set_defaults(handler=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="micro-batching query service over a saved index"
+             " (JSON lines on stdin/stdout)",
+    )
+    serve.add_argument("index", type=Path)
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="most queries one flush may coalesce")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="longest a queued query waits for the batch"
+                            " to fill before flushing anyway")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="admission-control bound on pending queries"
+                            " (0 = unbounded)")
+    serve.add_argument("--admission", choices=["reject", "block"],
+                       default="reject",
+                       help="what a submission hitting a full queue does")
+    serve.add_argument("--timeout-ms", type=float, default=None,
+                       help="default per-request deadline")
+    serve.add_argument("--stats", action="store_true",
+                       help="print serving statistics to stderr at EOF")
+    serve.set_defaults(handler=_cmd_serve)
 
     info = sub.add_parser("info", help="statistics of a saved index")
     info.add_argument("index", type=Path)
@@ -315,6 +344,131 @@ def _query_batch_file(args: argparse.Namespace, index) -> int:
         f"batch: {info.n_queries} queries, pages: {info.pages}, "
         f"candidates: {info.n_candidates}, fallbacks: {info.fallbacks}"
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve: JSON-lines request loop
+# ----------------------------------------------------------------------
+#
+# Request per line: a bare coordinate array ``[0.5, 0.5]`` or an object
+# ``{"point": [...], "id": ..., "timeout_ms": ...}``.  Response per line
+# (in input order): ``{"ok": true, "point_id": ..., "distance": ...,
+# "source": ..., "id": ...}`` or ``{"ok": false, "error": <code>,
+# "message": ...}``.  Responses stream as soon as the head of the
+# pipeline completes, so batching shows through without reordering.
+
+def _parse_serve_request(line: str, dim: int):
+    """``(point, request_id, timeout_ms)`` from one JSONL request line.
+
+    Parse errors are raised as :class:`ValueError` with a ``request_id``
+    attribute (when the request carried one), so the error response can
+    still be correlated with the request that caused it.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ValueError(f"bad JSON: {err}") from None
+    request_id = None
+    timeout_ms = None
+    if isinstance(payload, dict):
+        request_id = payload.get("id")
+        timeout_ms = payload.get("timeout_ms")
+        payload = payload.get("point")
+
+    def bail(message: str) -> "ValueError":
+        err = ValueError(message)
+        err.request_id = request_id
+        return err
+
+    if not isinstance(payload, list) or len(payload) != dim:
+        raise bail(f"point must be a {dim}-element array")
+    try:
+        point = [float(v) for v in payload]
+    except (TypeError, ValueError):
+        raise bail("point coordinates must be numbers") from None
+    return point, request_id, timeout_ms
+
+
+def _serve_response(pending, request_id) -> dict:
+    """Resolve one pending request into a JSON-serialisable response."""
+    try:
+        result = pending.result()
+        response = {
+            "ok": True,
+            "point_id": result.point_id,
+            "distance": result.distance,
+            "source": result.source,
+        }
+    except ServeError as err:
+        response = {"ok": False, "error": err.code, "message": str(err)}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.queue_depth or None,
+        admission=args.admission,
+        default_timeout_ms=args.timeout_ms,
+    )
+    print(
+        f"serving {args.index} (n={len(index)}, d={index.dim}); "
+        "one JSON request per line on stdin",
+        file=sys.stderr,
+    )
+    pipeline: "deque" = deque()  # (pending | response dict, request id)
+    with QueryService(index, config) as service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            request_id = None
+            try:
+                point, request_id, timeout_ms = _parse_serve_request(
+                    line, index.dim
+                )
+                pipeline.append(
+                    (service.submit_async(point, timeout_ms=timeout_ms),
+                     request_id)
+                )
+            except (ValueError, ServeError) as err:
+                code = (
+                    err.code if isinstance(err, ServeError) else "bad_request"
+                )
+                request_id = getattr(err, "request_id", request_id)
+                response = {
+                    "ok": False, "error": code, "message": str(err),
+                }
+                if request_id is not None:
+                    response["id"] = request_id
+                pipeline.append((response, None))
+            # Stream every response that is already decided, preserving
+            # input order (the head may still be in flight).
+            while pipeline and (
+                isinstance(pipeline[0][0], dict) or pipeline[0][0].done()
+            ):
+                head, head_id = pipeline.popleft()
+                response = (
+                    head if isinstance(head, dict)
+                    else _serve_response(head, head_id)
+                )
+                print(json.dumps(response), flush=True)
+        while pipeline:
+            head, head_id = pipeline.popleft()
+            response = (
+                head if isinstance(head, dict)
+                else _serve_response(head, head_id)
+            )
+            print(json.dumps(response), flush=True)
+        stats = service.stats()
+    if args.stats:
+        print(obs_export.stats_table(stats, "Serving statistics").render(),
+              file=sys.stderr)
     return 0
 
 

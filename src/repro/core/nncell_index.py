@@ -40,7 +40,7 @@ from ..index.rstar import RStarTree
 from ..index.xtree import XTree
 from ..obs import metrics
 from ..obs.tracing import span
-from ..storage.page import DEFAULT_PAGE_SIZE, PageManager
+from ..storage.page import DEFAULT_PAGE_SIZE
 from .approximation import approximate_cell
 from .candidates import CandidateSelector, SelectorKind, SelectorParams
 from .constraints import cell_system

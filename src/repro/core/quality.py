@@ -18,7 +18,7 @@ construction cost of the selector strategy; higher is better.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

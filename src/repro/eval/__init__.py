@@ -25,12 +25,19 @@ from .harness import (
     measure_scan_queries,
     measure_tree_queries,
 )
+from .loadgen import (
+    LoadReport,
+    run_direct_load,
+    run_service_load,
+    serving_throughput_table,
+)
 from .metrics import speedup_percent, summarize_series, verify_against_scan
 from .reporting import ResultTable
 
 __all__ = [
     "ComparisonRun",
     "CostModel",
+    "LoadReport",
     "QueryMeasurement",
     "ResultTable",
     "Timer",
@@ -48,6 +55,9 @@ __all__ = [
     "measure_scan_queries",
     "measure_tree_queries",
     "nn_sphere_volume_fraction",
+    "run_direct_load",
+    "run_service_load",
+    "serving_throughput_table",
     "speedup_percent",
     "summarize_series",
     "unit_ball_volume",

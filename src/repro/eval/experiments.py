@@ -24,18 +24,17 @@ Figure map:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
-from ..core.candidates import SelectorKind, SelectorParams
+from ..core.candidates import SelectorKind
 from ..core.decomposition import DecompositionConfig
 from ..core.nncell_index import BuildConfig, NNCellIndex
 from ..core.quality import average_overlap, quality_to_performance
 from ..data.fourier import fourier_points
-from ..data.synthetic import query_points, sparse_points, uniform_points
+from ..data.synthetic import query_points, uniform_points
 from ..geometry.mbr import MBR
 from ..index.bulk import bulk_load
 from ..index.rstar import RStarTree

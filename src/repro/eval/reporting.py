@@ -8,7 +8,7 @@ the paper's rows/series on stdout, and EXPERIMENTS.md quotes the output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 __all__ = ["ResultTable"]
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 __all__ = [
     "Counter",

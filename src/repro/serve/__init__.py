@@ -1,0 +1,28 @@
+"""Concurrent serving layer: micro-batched queries over a built index.
+
+``QueryService`` turns concurrent single-query submissions into
+:meth:`NNCellIndex.query_batch` calls (flush on ``max_batch_size`` or
+``max_wait_ms``), bounds its queue with an admission controller, honours
+per-request deadlines, and degrades gracefully through a
+batch -> serial -> linear-scan fallback ladder.  See ``docs/serving.md``.
+"""
+
+from .config import ServeConfig
+from .errors import (
+    DeadlineExceeded,
+    ServeError,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from .service import PendingResult, QueryResult, QueryService
+
+__all__ = [
+    "DeadlineExceeded",
+    "PendingResult",
+    "QueryResult",
+    "QueryService",
+    "ServeConfig",
+    "ServeError",
+    "ServiceClosed",
+    "ServiceOverloaded",
+]

@@ -1,0 +1,59 @@
+"""Configuration of the concurrent query service.
+
+The three knobs mirror the three subsystems of ``QueryService`` (see
+``docs/serving.md`` for the operational guidance):
+
+* **Micro-batching** — ``max_batch_size`` / ``max_wait_ms`` bound how
+  many queries one flush coalesces and how long the first request in a
+  batch may wait for company.  A flush fires on whichever bound is hit
+  first, so an idle service adds at most ``max_wait_ms`` of latency and
+  a busy one flushes full batches back to back.
+* **Admission control** — ``max_queue_depth`` bounds the pending queue;
+  ``admission`` picks what happens to a submission that finds it full:
+  ``"reject"`` raises :class:`~repro.serve.errors.ServiceOverloaded`
+  immediately (shed load, keep latency), ``"block"`` makes the caller
+  wait for space (keep work, transfer the queueing upstream).
+* **Deadlines** — ``default_timeout_ms`` applies to submissions that do
+  not carry their own timeout; expired requests are cancelled rather
+  than computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning parameters of a :class:`~repro.serve.service.QueryService`."""
+
+    #: Most queries one flush may coalesce into a single batched walk.
+    max_batch_size: int = 32
+    #: How long (milliseconds) the oldest queued request may wait for the
+    #: batch to fill before the flush fires anyway.  ``0`` flushes
+    #: opportunistically: whatever accumulated while the previous batch
+    #: was being computed goes out immediately.
+    max_wait_ms: float = 2.0
+    #: Pending-queue bound for admission control; ``None`` = unbounded
+    #: (no backpressure — only sensible for trusted in-process callers).
+    max_queue_depth: "int | None" = 1024
+    #: ``"reject"`` -> raise ``ServiceOverloaded`` when the queue is
+    #: full; ``"block"`` -> make the submitter wait for space.
+    admission: str = "reject"
+    #: Deadline (milliseconds from submission) applied to requests that
+    #: do not pass their own ``timeout_ms``; ``None`` = no deadline.
+    default_timeout_ms: "float | None" = None
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0.0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 or None")
+        if self.admission not in ("reject", "block"):
+            raise ValueError("admission must be 'reject' or 'block'")
+        if self.default_timeout_ms is not None and self.default_timeout_ms <= 0:
+            raise ValueError("default_timeout_ms must be > 0 or None")

@@ -1,0 +1,55 @@
+"""Typed failures of the serving layer.
+
+Every way a request can fail to produce a nearest neighbor has its own
+exception class, so callers (and the JSONL protocol in the CLI) can map
+failures to well-formed responses instead of pattern-matching message
+strings.  Note what is *not* here: LP or tolerance errors raised by the
+query engine never reach a caller — the service's fallback ladder
+(batched -> per-query serial -> linear scan, see ``docs/serving.md``)
+absorbs them and still answers the query.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeadlineExceeded",
+    "ServeError",
+    "ServiceClosed",
+    "ServiceOverloaded",
+]
+
+
+class ServeError(Exception):
+    """Base class of every serving-layer failure."""
+
+    #: Stable machine-readable identifier used in protocol responses.
+    code = "serve_error"
+
+
+class ServiceOverloaded(ServeError):
+    """The admission controller rejected the request: queue full.
+
+    Raised at submission time when the pending queue already holds
+    ``max_queue_depth`` requests and the service runs the ``"reject"``
+    admission policy.  The request was *not* enqueued; retrying after
+    backing off is safe.
+    """
+
+    code = "overloaded"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before an answer was produced.
+
+    Raised either by the flush loop (the request expired while still
+    queued — its work is cancelled, not performed) or by the waiting
+    caller (the batch it joined did not complete in time).
+    """
+
+    code = "deadline_exceeded"
+
+
+class ServiceClosed(ServeError):
+    """The service is shut down and no longer accepts submissions."""
+
+    code = "closed"

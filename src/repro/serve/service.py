@@ -1,0 +1,490 @@
+"""In-process concurrent query service with micro-batching.
+
+The paper's argument makes NN search a natural serving workload: once
+the solution space is precomputed, a query is a cheap point query — and
+:func:`repro.engine.batch.query_batch` already amortises one tree walk
+across a whole workload.  What is missing between "many concurrent
+callers" and that batched primitive is an *operational* layer, and that
+is this module:
+
+* **Micro-batching** — a single flush loop drains the submission queue,
+  coalescing up to ``max_batch_size`` requests or waiting at most
+  ``max_wait_ms`` for the batch to fill (whichever first), and answers
+  the whole batch through one ``query_batch`` walk.
+* **Admission control** — the queue is bounded; a submission that finds
+  it full is either rejected with
+  :class:`~repro.serve.errors.ServiceOverloaded` or blocks until space
+  frees up (``ServeConfig.admission``), so a load spike degrades into
+  explicit backpressure instead of unbounded memory growth.
+* **Deadlines** — each request may carry a timeout; requests whose
+  deadline passes while they are still queued are cancelled (their work
+  is never performed) and both sides observe a typed
+  :class:`~repro.serve.errors.DeadlineExceeded`.
+* **Graceful degradation** — a failure inside the batched walk (an LP
+  backend error, a tolerance corner) falls back to answering each
+  request with the serial ``index.nearest``; a request that fails even
+  serially is answered by an exact linear scan.  Engine exceptions never
+  propagate to a caller — the ladder is
+  ``batch -> serial -> linear scan``, and every rung is counted.
+
+Every decision is measured: ``serve.*`` counters/histograms in
+:mod:`repro.obs.metrics` and one ``serve.flush`` span per flush (the
+nested ``query.batch`` span comes from the engine).  The full metric
+taxonomy is documented in ``docs/observability.md``; operational
+guidance lives in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..index.linear_scan import LinearScan
+from ..obs import metrics
+from ..obs.tracing import span
+from .config import ServeConfig
+from .errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded
+
+__all__ = ["PendingResult", "QueryResult", "QueryService"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered nearest-neighbor request.
+
+    ``source`` records which rung of the fallback ladder produced the
+    answer: ``"batch"`` (the normal micro-batched walk), ``"serial"``
+    (per-query fallback after a batch failure) or ``"scan"`` (linear
+    scan, the ladder's last rung).  All three sources return the same
+    exact nearest neighbor — the ladder trades throughput, never
+    correctness.
+    """
+
+    point_id: int
+    distance: float
+    source: str = "batch"
+    #: Submission-to-completion latency, milliseconds.
+    latency_ms: float = 0.0
+
+
+# Request lifecycle: transitions happen under the service lock only.
+_PENDING = 0  # queued, not yet picked up by the flush loop
+_INFLIGHT = 1  # part of a batch being computed
+_DONE = 2  # result delivered
+_FAILED = 3  # typed error delivered (deadline, shutdown)
+
+
+class _Request:
+    """Internal per-submission record shared by caller and flush loop."""
+
+    __slots__ = (
+        "point", "deadline", "enqueued_at", "event", "result", "error",
+        "state",
+    )
+
+    def __init__(self, point: np.ndarray, deadline: "float | None"):
+        self.point = point
+        self.deadline = deadline
+        self.enqueued_at = time.monotonic()
+        self.event = threading.Event()
+        self.result: "Optional[QueryResult]" = None
+        self.error: "Optional[Exception]" = None
+        self.state = _PENDING
+
+
+class PendingResult:
+    """Caller-side handle of one submitted query (a narrow future).
+
+    Returned by :meth:`QueryService.submit_async`; :meth:`result` blocks
+    until the flush loop answers, the request's deadline passes, or an
+    explicit ``timeout_ms`` runs out — whichever comes first.
+    """
+
+    __slots__ = ("_service", "_request")
+
+    def __init__(self, service: "QueryService", request: _Request):
+        self._service = service
+        self._request = request
+
+    def done(self) -> bool:
+        """Whether a result or error is already available."""
+        return self._request.event.is_set()
+
+    def result(self, timeout_ms: "float | None" = None) -> QueryResult:
+        """The answer, or a typed :class:`ServeError` subclass raised.
+
+        ``timeout_ms`` bounds only this wait; the request's own deadline
+        (if any) still applies and the earlier of the two wins.  A wait
+        that times out *cancels* the request: a late answer from the
+        flush loop is discarded, so one submission never yields two
+        outcomes.
+        """
+        req = self._request
+        budget = _remaining(req.deadline)
+        if timeout_ms is not None:
+            wait = timeout_ms / 1000.0
+            budget = wait if budget is None else min(budget, wait)
+        if not req.event.wait(budget):
+            self._service._expire(req)
+        if req.error is not None:
+            raise req.error
+        assert req.result is not None
+        return req.result
+
+
+def _remaining(deadline: "float | None") -> "float | None":
+    """Seconds until ``deadline`` (monotonic), floored at zero."""
+    if deadline is None:
+        return None
+    return max(0.0, deadline - time.monotonic())
+
+
+class QueryService:
+    """Concurrent nearest-neighbor serving on top of one built index.
+
+    Threads submit single queries; a dedicated flush loop coalesces them
+    into :meth:`NNCellIndex.query_batch` calls.  Usable as a context
+    manager::
+
+        with QueryService(index, ServeConfig(max_batch_size=64)) as svc:
+            result = svc.submit([0.5, 0.5, 0.5])
+
+    The service assumes the index is not mutated while serving (run
+    dynamic updates through a swap of service instances).  ``close()``
+    drains the queue — every accepted request is answered — and a
+    submission after close raises :class:`ServiceClosed`.
+    """
+
+    def __init__(
+        self,
+        index,
+        config: "ServeConfig | None" = None,
+        batch_fn: "Callable | None" = None,
+    ):
+        """``batch_fn`` overrides the batched query primitive (testing /
+        failure injection); it must match ``index.query_batch``'s
+        signature and contract."""
+        self.index = index
+        self.config = config or ServeConfig()
+        self._batch_fn = batch_fn or index.query_batch
+        self._cond = threading.Condition()
+        self._queue: "deque[_Request]" = deque()
+        self._closed = False
+        self._scan: "Optional[LinearScan]" = None
+        self._scan_ids: "Optional[np.ndarray]" = None
+        self._stats: "Dict[str, float]" = {
+            "submitted": 0,
+            "completed": 0,
+            "rejected": 0,
+            "deadline_missed": 0,
+            "flushes": 0,
+            "batched_requests": 0,
+            "pages": 0,
+            "fallback_batch": 0,
+            "fallback_serial": 0,
+            "fallback_scan": 0,
+        }
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-flush", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        point: Sequence[float],
+        timeout_ms: "float | None" = None,
+    ) -> QueryResult:
+        """Answer one query, blocking until the result is available.
+
+        Raises :class:`ServiceOverloaded`, :class:`DeadlineExceeded` or
+        :class:`ServiceClosed`; engine failures are absorbed by the
+        fallback ladder and still produce a :class:`QueryResult`.
+        """
+        return self.submit_async(point, timeout_ms=timeout_ms).result()
+
+    def submit_async(
+        self,
+        point: Sequence[float],
+        timeout_ms: "float | None" = None,
+    ) -> PendingResult:
+        """Enqueue one query; returns a :class:`PendingResult` handle.
+
+        Admission control runs here: with a full queue, policy
+        ``"reject"`` raises :class:`ServiceOverloaded` immediately and
+        ``"block"`` waits for space (bounded by the request deadline).
+        """
+        q = np.asarray(point, dtype=np.float64)
+        if q.shape != (self.index.dim,):
+            raise ValueError(f"query must be a {self.index.dim}-vector")
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        elif timeout_ms <= 0:
+            raise ValueError("timeout_ms must be > 0 or None")
+        deadline = (
+            None if timeout_ms is None
+            else time.monotonic() + timeout_ms / 1000.0
+        )
+        request = _Request(q, deadline)
+        depth_cap = self.config.max_queue_depth
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if depth_cap is not None and len(self._queue) >= depth_cap:
+                if self.config.admission == "reject":
+                    self._stats["rejected"] += 1
+                    metrics.inc("serve.rejected")
+                    raise ServiceOverloaded(
+                        f"queue depth {depth_cap} exceeded"
+                    )
+                while (
+                    not self._closed
+                    and len(self._queue) >= depth_cap
+                ):
+                    if not self._cond.wait(_remaining(deadline)):
+                        self._stats["deadline_missed"] += 1
+                        metrics.inc("serve.deadline_missed")
+                        raise DeadlineExceeded(
+                            "deadline passed while blocked on admission"
+                        )
+                if self._closed:
+                    raise ServiceClosed("service is closed")
+            request.enqueued_at = time.monotonic()
+            self._queue.append(request)
+            self._stats["submitted"] += 1
+            depth = len(self._queue)
+            self._cond.notify_all()
+        metrics.inc("serve.submitted")
+        metrics.set_gauge("serve.queue.depth", depth)
+        return PendingResult(self, request)
+
+    def _expire(self, request: _Request) -> None:
+        """Caller-side cancellation: the wait for ``request`` timed out."""
+        with self._cond:
+            if request.event.is_set():
+                return  # answer raced in while we were acquiring the lock
+            request.state = _FAILED
+            request.error = DeadlineExceeded(
+                "result not produced within the deadline"
+            )
+            self._stats["deadline_missed"] += 1
+            request.event.set()
+        metrics.inc("serve.deadline_missed")
+
+    # ------------------------------------------------------------------
+    # Flush loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._process(batch)
+
+    def _next_batch(self) -> "Optional[list]":
+        """Block until a batch is due, pop it; ``None`` = shut down.
+
+        The micro-batching policy: the flush fires when the queue holds
+        ``max_batch_size`` requests or the oldest one has waited
+        ``max_wait_ms``, whichever happens first.  During shutdown the
+        wait is skipped so the queue drains immediately.
+        """
+        cfg = self.config
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            if cfg.max_wait_ms > 0:
+                flush_at = self._queue[0].enqueued_at + cfg.max_wait_ms / 1e3
+                while (
+                    not self._closed
+                    and len(self._queue) < cfg.max_batch_size
+                ):
+                    remaining = flush_at - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            take = min(len(self._queue), cfg.max_batch_size)
+            batch = [self._queue.popleft() for __ in range(take)]
+            depth = len(self._queue)
+            self._cond.notify_all()  # admission waiters: space freed
+        metrics.set_gauge("serve.queue.depth", depth)
+        return batch
+
+    def _process(self, batch: "list[_Request]") -> None:
+        """Answer one popped batch through the fallback ladder."""
+        now = time.monotonic()
+        live: "list[_Request]" = []
+        expired = 0
+        with self._cond:
+            for request in batch:
+                if request.state != _PENDING:
+                    continue  # caller already timed out and cancelled
+                if request.deadline is not None and now > request.deadline:
+                    request.state = _FAILED
+                    request.error = DeadlineExceeded(
+                        "deadline passed while queued; work cancelled"
+                    )
+                    self._stats["deadline_missed"] += 1
+                    expired += 1
+                    request.event.set()
+                    continue
+                request.state = _INFLIGHT
+                live.append(request)
+        if expired:
+            metrics.inc("serve.deadline_missed", expired)
+        if not live:
+            return
+        metrics.inc("serve.flush.count")
+        metrics.observe("serve.batch.size", len(live))
+        with span("serve.flush", n_requests=len(live)) as flush:
+            results, pages = self._answer(live)
+            flush.set("pages", pages)
+            flush.set("sources", sorted({r.source for r in results}))
+        done = time.monotonic()
+        delivered = 0
+        with self._cond:
+            self._stats["flushes"] += 1
+            self._stats["batched_requests"] += len(live)
+            self._stats["pages"] += pages
+            for request, result in zip(live, results):
+                if request.state != _INFLIGHT:
+                    continue  # cancelled mid-flight; drop the late answer
+                request.state = _DONE
+                request.result = QueryResult(
+                    result.point_id,
+                    result.distance,
+                    result.source,
+                    latency_ms=1e3 * (done - request.enqueued_at),
+                )
+                self._stats["completed"] += 1
+                delivered += 1
+                request.event.set()
+        if delivered:
+            metrics.inc("serve.completed", delivered)
+        for request in live:
+            if request.result is not None:
+                metrics.observe("serve.latency_ms", request.result.latency_ms)
+
+    # ------------------------------------------------------------------
+    # Fallback ladder
+    # ------------------------------------------------------------------
+    def _answer(
+        self, live: "list[_Request]"
+    ) -> "tuple[list[QueryResult], int]":
+        """Results for ``live``, surviving any engine failure.
+
+        Rung 1: one batched walk.  Rung 2 (batch raised): per-request
+        serial ``nearest``.  Rung 3 (serial raised too): exact linear
+        scan over the active points.  Returns ``(results, pages)``.
+        """
+        points = np.stack([request.point for request in live])
+        try:
+            ids, dists, info = self._batch_fn(points)
+            return (
+                [
+                    QueryResult(int(i), float(d), "batch")
+                    for i, d in zip(ids, dists)
+                ],
+                int(info.pages),
+            )
+        except Exception:
+            with self._cond:
+                self._stats["fallback_batch"] += 1
+            metrics.inc("serve.fallback.batch")
+        results = []
+        pages = 0
+        for request in live:
+            try:
+                point_id, distance, info = self.index.nearest(request.point)
+                results.append(
+                    QueryResult(int(point_id), float(distance), "serial")
+                )
+                pages += int(info.pages)
+                with self._cond:
+                    self._stats["fallback_serial"] += 1
+                metrics.inc("serve.fallback.serial")
+            except Exception:
+                point_id, distance, scanned = self._scan_nearest(request.point)
+                results.append(QueryResult(point_id, distance, "scan"))
+                pages += scanned
+                with self._cond:
+                    self._stats["fallback_scan"] += 1
+                metrics.inc("serve.fallback.scan")
+        return results, pages
+
+    def _scan_nearest(self, q: np.ndarray) -> "tuple[int, float, int]":
+        """Last rung: exact nearest by linear scan; ``(id, dist, pages)``.
+
+        The scan is built lazily over the index's active points and maps
+        its row ids back to index point ids.
+        """
+        if self._scan is None:
+            active = self.index.active_ids
+            self._scan = LinearScan(self.index.points[active])
+            self._scan_ids = active
+        result = self._scan.nearest(q)
+        return (
+            int(self._scan_ids[result.nearest_id]),
+            float(result.nearest_distance),
+            int(result.pages),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop the service.  Idempotent.
+
+        ``drain=True`` (default) answers every already-accepted request
+        before the flush loop exits; ``drain=False`` fails pending
+        requests with :class:`ServiceClosed` immediately.
+        """
+        with self._cond:
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    while self._queue:
+                        request = self._queue.popleft()
+                        request.state = _FAILED
+                        request.error = ServiceClosed(
+                            "service closed before the request was served"
+                        )
+                        request.event.set()
+                self._cond.notify_all()
+        self._thread.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def queue_depth(self) -> int:
+        """Current number of pending (not yet flushed) requests."""
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> "Dict[str, float]":
+        """Cumulative serving counters (kept even with metrics disabled).
+
+        Includes the derived ``mean_batch_size`` — the quantity the
+        acceptance harness checks — alongside the raw counts.
+        """
+        with self._cond:
+            out = dict(self._stats)
+        flushes = max(1.0, out["flushes"])
+        out["mean_batch_size"] = out["batched_requests"] / flushes
+        return out
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

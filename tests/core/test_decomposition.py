@@ -13,7 +13,6 @@ from repro.core.decomposition import (
     partition_counts,
 )
 from repro.data import uniform_points
-from repro.geometry.mbr import MBR
 
 
 @pytest.fixture

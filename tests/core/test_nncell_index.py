@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from helpers import brute_nearest
-from repro.core.candidates import SelectorKind, SelectorParams
+from repro.core.candidates import SelectorKind
 from repro.core.decomposition import DecompositionConfig
 from repro.core.nncell_index import BuildConfig, NNCellIndex
 from repro.data import clustered_points, grid_points, uniform_points

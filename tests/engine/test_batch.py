@@ -12,7 +12,7 @@ import pytest
 from repro.core.candidates import SelectorKind
 from repro.core.nncell_index import BuildConfig, NNCellIndex
 from repro.data import query_points, uniform_points
-from repro.engine.batch import BatchQueryInfo, batched_point_query, query_batch
+from repro.engine.batch import BatchQueryInfo, batched_point_query
 from repro.obs import metrics
 
 

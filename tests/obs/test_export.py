@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs import export, tracing
+from repro.obs import tracing
 from repro.obs.export import (
     PROFILE_FORMAT_VERSION,
     load_profile,

@@ -1,6 +1,5 @@
 """Registry semantics: counters, gauges, histograms, snapshots, threads."""
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest

@@ -260,6 +260,77 @@ class TestProfileFlag:
         assert doc["metrics"]["counters"]["query.count"] == 1
 
 
+class TestServeCommand:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        return out
+
+    def serve(self, monkeypatch, capsys, index_path, stdin_text, *flags):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code, stdout, stderr = run(capsys, "serve", str(index_path), *flags)
+        import json
+
+        responses = [json.loads(line) for line in stdout.splitlines()]
+        return code, responses, stderr
+
+    def test_jsonl_roundtrip_matches_query(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            '[0.5, 0.5, 0.5]\n{"id": 7, "point": [0.1, 0.2, 0.3]}\n',
+        )
+        assert code == 0
+        assert len(responses) == 2
+        assert all(r["ok"] for r in responses)
+        assert responses[1]["id"] == 7
+        assert responses[0]["source"] in ("batch", "serial", "scan")
+
+        # The serving answer must agree with the one-shot query path.
+        code, stdout, __ = run(
+            capsys, "query", str(index_path), "--point", "0.5,0.5,0.5",
+        )
+        assert code == 0
+        assert f"point {responses[0]['point_id']}" in stdout
+
+    def test_bad_requests_get_typed_errors_in_order(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "not json\n"
+            '{"id": 2, "point": [0.5]}\n'
+            "[0.4, 0.4, 0.4]\n",
+        )
+        assert code == 0
+        assert [r["ok"] for r in responses] == [False, False, True]
+        assert responses[0]["error"] == "bad_request"
+        assert responses[1]["error"] == "bad_request"
+        assert responses[1]["id"] == 2
+        assert "3-element" in responses[1]["message"]
+
+    def test_blank_lines_skipped_and_stats_flag(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, stderr = self.serve(
+            monkeypatch, capsys, index_path,
+            "\n[0.2, 0.2, 0.2]\n\n", "--stats",
+        )
+        assert code == 0
+        assert len(responses) == 1
+        assert responses[0]["ok"]
+        assert "Serving statistics" in stderr
+        assert "submitted" in stderr
+
+
 class TestExperimentCommand:
     def test_figure2_runs(self, capsys):
         code, stdout, __ = run(

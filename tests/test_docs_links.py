@@ -6,7 +6,6 @@ documentation drift is caught by CI, not by readers.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,0 +1,93 @@
+"""Tests for the standalone CI tools in ``tools/``.
+
+``tools/compare_archives.py`` backs the ``parallel-parity`` workflow
+job; its comparison logic is unit-tested here so the CI contract is
+exercised by the suite, not only on a runner.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location(
+        "compare_archives", REPO_ROOT / "tools" / "compare_archives.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def save(path, **arrays):
+    np.savez(path, **arrays)
+    return path
+
+
+class TestCompareArchives:
+    def test_identical_archives_have_no_diffs(self, tool, tmp_path):
+        data = {"ids": np.arange(5), "points": np.eye(3)}
+        a = save(tmp_path / "a.npz", **data)
+        b = save(tmp_path / "b.npz", **data)
+        assert tool.compare_archives(a, b) == []
+
+    def test_nan_bytes_compare_equal(self, tool, tmp_path):
+        # The contract is "same bytes", so NaN == NaN here even though
+        # IEEE comparison says otherwise.
+        values = np.array([1.0, np.nan, 3.0])
+        a = save(tmp_path / "a.npz", values=values)
+        b = save(tmp_path / "b.npz", values=values.copy())
+        assert tool.compare_archives(a, b) == []
+
+    def test_missing_key_reported_for_each_side(self, tool, tmp_path):
+        a = save(tmp_path / "a.npz", x=np.zeros(2), only_a=np.ones(1))
+        b = save(tmp_path / "b.npz", x=np.zeros(2), only_b=np.ones(1))
+        diffs = tool.compare_archives(a, b)
+        assert any("only_a" in d and str(a) in d for d in diffs)
+        assert any("only_b" in d and str(b) in d for d in diffs)
+
+    def test_dtype_shape_and_value_diffs(self, tool, tmp_path):
+        a = save(
+            tmp_path / "a.npz",
+            d=np.zeros(3, dtype=np.float64),
+            s=np.zeros((2, 2)),
+            v=np.array([1.0, 2.0]),
+        )
+        b = save(
+            tmp_path / "b.npz",
+            d=np.zeros(3, dtype=np.float32),
+            s=np.zeros((2, 3)),
+            v=np.array([1.0, 2.5]),
+        )
+        diffs = dict(line.split(":", 1) for line in tool.compare_archives(a, b))
+        assert "dtype" in diffs["d"]
+        assert "shape" in diffs["s"]
+        assert "values differ" in diffs["v"]
+
+
+class TestMain:
+    def test_exit_zero_and_summary_on_parity(self, tool, tmp_path, capsys):
+        a = save(tmp_path / "a.npz", x=np.arange(4), y=np.ones(2))
+        b = save(tmp_path / "b.npz", x=np.arange(4), y=np.ones(2))
+        assert tool.main([str(a), str(b)]) == 0
+        assert "parity OK: 2 arrays identical" in capsys.readouterr().out
+
+    def test_exit_one_lists_differences(self, tool, tmp_path, capsys):
+        a = save(tmp_path / "a.npz", x=np.arange(4))
+        b = save(tmp_path / "b.npz", x=np.arange(1, 5))
+        assert tool.main([str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "x: values differ" in out
+        assert "1 difference(s)" in out
+
+    def test_usage_and_missing_file_exit_two(self, tool, tmp_path, capsys):
+        assert tool.main(["just-one.npz"]) == 2
+        assert "usage" in capsys.readouterr().err
+        a = save(tmp_path / "a.npz", x=np.arange(2))
+        assert tool.main([str(a), str(tmp_path / "nope.npz")]) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Serving-layer smoke test, run by CI's ``serve-smoke`` job.
+
+End-to-end sanity of :mod:`repro.serve` on a real (tiny) index:
+
+1. build an index over a uniform workload;
+2. start a :class:`QueryService` and push 200 queries at it from 4
+   concurrent client threads;
+3. assert **zero errors**, **every answer identical to the serial
+   ``nearest``**, and **mean coalesced batch size > 1** (the
+   micro-batching actually batched);
+4. induce a batch failure and an overload, and assert both degrade into
+   well-formed responses with the matching counters incremented.
+
+Exits non-zero with a message on any violation.  Also runnable locally::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(REPO_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import BuildConfig, NNCellIndex  # noqa: E402
+from repro.data import query_points, uniform_points  # noqa: E402
+from repro.obs import metrics  # noqa: E402
+from repro.serve import (  # noqa: E402
+    QueryService,
+    ServeConfig,
+    ServiceOverloaded,
+)
+
+N_THREADS = 4
+N_QUERIES = 200
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"serve smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def concurrent_load(index, registry) -> None:
+    """Steps 2-3: concurrent clients, zero errors, batching observed."""
+    queries = query_points(N_QUERIES, index.dim, seed=13)
+    config = ServeConfig(max_batch_size=32, max_wait_ms=5.0)
+    results: "list" = [None] * N_QUERIES
+    errors: "list" = []
+
+    with QueryService(index, config) as service:
+        def client(thread_idx: int) -> None:
+            for i in range(thread_idx, N_QUERIES, N_THREADS):
+                try:
+                    results[i] = service.submit(queries[i])
+                except Exception as err:  # any error fails the smoke
+                    errors.append((i, repr(err)))
+
+        threads = [
+            threading.Thread(target=client, args=(t,))
+            for t in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = service.stats()
+
+    check(not errors, f"{len(errors)} client errors, first: {errors[:1]}")
+    check(stats["completed"] == N_QUERIES,
+          f"completed {stats['completed']} != {N_QUERIES}")
+    for i in range(N_QUERIES):
+        point_id, distance, __ = index.nearest(queries[i])
+        check(results[i].point_id == point_id
+              and results[i].distance == distance,
+              f"query {i}: served answer differs from serial nearest")
+    check(stats["mean_batch_size"] > 1.0,
+          f"mean batch size {stats['mean_batch_size']:.2f} <= 1")
+    batch_hist = registry.histogram("serve.batch.size").summary()
+    check(batch_hist["mean"] > 1.0,
+          f"serve.batch.size mean {batch_hist['mean']:.2f} <= 1")
+    print(
+        f"load OK: {N_QUERIES} queries / {N_THREADS} threads, "
+        f"mean batch size {stats['mean_batch_size']:.2f}, "
+        f"0 errors"
+    )
+
+
+def induced_failure(index, registry) -> None:
+    """Step 4a: a failing batch engine degrades, never raises."""
+    def broken_batch(points, batch_size=None):
+        raise RuntimeError("induced LP failure")
+
+    with QueryService(index, ServeConfig(max_wait_ms=0.0),
+                      batch_fn=broken_batch) as service:
+        result = service.submit(np.full(index.dim, 0.5))
+    point_id, distance, __ = index.nearest(np.full(index.dim, 0.5))
+    check(result.point_id == point_id and result.distance == distance,
+          "fallback answer differs from serial nearest")
+    check(result.source == "serial",
+          f"expected serial fallback, got {result.source!r}")
+    fallbacks = registry.counter("serve.fallback.batch").value
+    check(fallbacks >= 1, "serve.fallback.batch counter not incremented")
+    print(f"fallback OK: source={result.source}, "
+          f"serve.fallback.batch={fallbacks:.0f}")
+
+
+def induced_overload(index, registry) -> None:
+    """Step 4b: a full queue rejects with a typed error and a counter."""
+    stall = threading.Event()
+
+    def stalled_batch(points, batch_size=None):
+        stall.wait(5.0)
+        return index.query_batch(points)
+
+    config = ServeConfig(max_wait_ms=0.0, max_queue_depth=1,
+                         admission="reject")
+    rejected = 0
+    with QueryService(index, config, batch_fn=stalled_batch) as service:
+        inflight = service.submit_async(np.full(index.dim, 0.5))
+        pending = None
+        # Fill the single queue slot, then overflow it.
+        for __ in range(50):
+            try:
+                handle = service.submit_async(np.full(index.dim, 0.25))
+                if pending is None:
+                    pending = handle
+            except ServiceOverloaded:
+                rejected += 1
+        stall.set()
+        inflight.result()
+        if pending is not None:
+            pending.result()
+    check(rejected > 0, "no submission was rejected at queue depth 1")
+    counter = registry.counter("serve.rejected").value
+    check(counter == rejected,
+          f"serve.rejected {counter:.0f} != {rejected} observed")
+    print(f"overload OK: {rejected} rejections counted")
+
+
+def main() -> int:
+    points = uniform_points(120, 4, seed=5)
+    index = NNCellIndex.build(points, BuildConfig())
+    with metrics.collecting(fresh=True) as registry:
+        concurrent_load(index, registry)
+        induced_failure(index, registry)
+        induced_overload(index, registry)
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
