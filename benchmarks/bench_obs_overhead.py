@@ -1,0 +1,160 @@
+"""Observability overhead: query throughput across telemetry modes.
+
+The contract every ``repro.obs`` layer signs is *cheap when disabled* —
+a hot-path event site pays one boolean check, and the acceptance bar is
+< 3% query-throughput overhead with telemetry fully off.  This bench
+measures the trajectory of that contract and publishes it as a
+machine-readable root-level ``BENCH_obs.json``:
+
+* ``disabled_qps`` / ``metrics_qps`` / ``metrics_events_qps`` — direct
+  ``nearest`` throughput with telemetry off, with the metrics registry
+  (plus time-series sink) on, and with the structured event log on too;
+* ``overhead_metrics_pct`` / ``overhead_events_pct`` — the same as
+  relative slowdowns against ``disabled_qps`` (context, not gated);
+* ``serve_wall_qps`` / ``serve_p50_ms`` / ``serve_p99_ms`` — a
+  concurrent service run measured through the *new 60s windows*
+  (``TimeSeries``), i.e. the numbers the live dashboard would show.
+
+Diff two snapshots with ``python tools/compare_bench.py`` — it fails on
+a >10% regression in any gated metric.  Runnable both ways::
+
+    PYTHONPATH=src pytest benchmarks/bench_obs_overhead.py --benchmark-only -s
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.nncell_index import NNCellIndex
+from repro.data import query_points, uniform_points
+from repro.eval.loadgen import run_service_load
+from repro.obs import events, metrics
+from repro.obs.timeseries import TimeSeries
+from repro.serve import ServeConfig
+
+try:  # direct `python benchmarks/bench_obs_overhead.py` runs too
+    from bench_common import scaled
+except ImportError:  # pragma: no cover - pytest inserts benchmarks/ on path
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_common import scaled
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_obs.json"
+
+#: Timing passes per mode; the fastest is kept (loaded-box noise is
+#: one-sided, so min is the honest estimator).
+REPEATS = 3
+
+
+def _throughput_qps(index, queries, repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` direct ``nearest`` throughput (queries/s)."""
+    best = 0.0
+    for __ in range(repeats):
+        started = time.perf_counter()
+        for q in queries:
+            index.nearest(q)
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, queries.shape[0] / elapsed)
+    return best
+
+
+def measure_obs_overhead(index, queries) -> dict:
+    """The three-mode throughput comparison as a flat metrics dict."""
+    metrics.disable()
+    events.disable()
+    disabled_qps = _throughput_qps(index, queries)
+
+    with metrics.collecting(fresh=True):
+        metrics.install_timeseries(TimeSeries())
+        try:
+            metrics_qps = _throughput_qps(index, queries)
+            with events.collecting():
+                metrics_events_qps = _throughput_qps(index, queries)
+        finally:
+            metrics.uninstall_timeseries()
+
+    def overhead_pct(qps: float) -> float:
+        if disabled_qps <= 0.0:
+            return 0.0
+        return 100.0 * (1.0 - qps / disabled_qps)
+
+    return {
+        "disabled_qps": disabled_qps,
+        "metrics_qps": metrics_qps,
+        "metrics_events_qps": metrics_events_qps,
+        "overhead_metrics_pct": overhead_pct(metrics_qps),
+        "overhead_events_pct": overhead_pct(metrics_events_qps),
+    }
+
+
+def measure_serve_windows(index, queries) -> dict:
+    """Concurrent-serve latency as reported by the sliding windows.
+
+    The service run is measured the way an operator would see it: the
+    installed :class:`TimeSeries` aggregates ``serve.latency_ms`` into
+    its 60s window, and p50/p99/QPS are read back from there.
+    """
+    ts = TimeSeries()
+    with metrics.collecting(fresh=True):
+        metrics.install_timeseries(ts)
+        try:
+            report = run_service_load(
+                index, queries, n_threads=4,
+                config=ServeConfig(max_batch_size=64, max_wait_ms=2.0),
+            )
+        finally:
+            metrics.uninstall_timeseries()
+    window = ts.window(60).get("serve.latency_ms")
+    return {
+        "serve_wall_qps": report.throughput_qps(),
+        "serve_p50_ms": window.percentile(50) if window else 0.0,
+        "serve_p99_ms": window.percentile(99) if window else 0.0,
+        "serve_errors": float(report.errors),
+    }
+
+
+def run_bench(out_path: Path = BENCH_PATH) -> dict:
+    """Build the workload, measure, and write the BENCH document."""
+    dim = 6
+    n_points = scaled(300)
+    n_queries = scaled(400)
+    index = NNCellIndex.build(uniform_points(n_points, dim, seed=271))
+    queries = query_points(n_queries, dim, seed=272)
+
+    document = {
+        "bench": "obs_overhead",
+        "format_version": 1,
+        "config": {
+            "n_points": n_points,
+            "dim": dim,
+            "n_queries": n_queries,
+            "repeats": REPEATS,
+        },
+        "metrics": {
+            **measure_obs_overhead(index, queries),
+            **measure_serve_windows(index, queries),
+        },
+    }
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def bench_obs_overhead(benchmark):
+    document = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    m = document["metrics"]
+    assert m["disabled_qps"] > 0.0
+    assert m["metrics_qps"] > 0.0
+    assert m["serve_errors"] == 0.0
+    assert m["serve_p99_ms"] >= m["serve_p50_ms"] > 0.0
+    print(f"\n(bench document written to {BENCH_PATH})")
+    for name in sorted(m):
+        print(f"  {name:<24} {m[name]:.3f}")
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(json.dumps(result, indent=2, sort_keys=True))

@@ -7,9 +7,16 @@ Wraps the library's main workflows for shell use:
 * ``query``  — load a saved index and answer (k-)NN queries;
 * ``serve``  — run the concurrent micro-batching query service over a
   saved index, speaking JSON-lines on stdin/stdout (docs/serving.md);
+  ``--metrics-port`` binds a Prometheus scrape endpoint,
+  ``--stats-interval`` prints a windowed dashboard line to stderr, and
+  ``--events`` appends a JSONL record per sampled lifecycle;
+* ``explain`` — full account of how one query is answered: the leaf
+  rectangles hit, the candidate distances, tolerance retries and the
+  fallback path, as text or ``--json``;
 * ``info``   — print a saved index's statistics;
 * ``stats``  — same statistics, plus ``--live`` metrics from a sample
-  query workload run with instrumentation enabled;
+  query workload run with instrumentation enabled, or ``--watch`` for a
+  continuously refreshing windowed telemetry table;
 * ``experiment`` — run one of the paper's figure experiments and print
   (optionally save) its table.
 
@@ -30,8 +37,11 @@ Examples::
     python -m repro query idx.npz --point 0.5,0.5,0.5,0.5,0.5,0.5 -k 3
     python -m repro query idx.npz --batch queries.npy
     echo '[0.5, 0.5, 0.5, 0.5, 0.5, 0.5]' | python -m repro serve idx.npz
+    python -m repro serve idx.npz --metrics-port 9100 --stats-interval 5
+    python -m repro explain idx.npz --point 0.5,0.5,0.5,0.5,0.5,0.5
     python -m repro info idx.npz
     python -m repro stats idx.npz --live
+    python -m repro stats idx.npz --watch --duration 10
     python -m repro build --dataset uniform --n 200 --dim 4 \
         --out idx.npz --profile build_profile.json
     python -m repro experiment figure4 --param dims=2,4 --param n_points=50
@@ -42,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
@@ -58,8 +69,15 @@ from .data.synthetic import query_points
 from .eval import experiments as experiments_module
 from .obs import export as obs_export
 from .obs import metrics as obs_metrics
+from .obs import timeseries as obs_timeseries
 from .obs import tracing as obs_tracing
-from .serve import QueryService, ServeConfig, ServeError
+from .serve import (
+    QueryService,
+    ServeConfig,
+    ServeError,
+    TelemetryConfig,
+    TelemetrySession,
+)
 
 __all__ = ["main"]
 
@@ -169,7 +187,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline")
     serve.add_argument("--stats", action="store_true",
                        help="print serving statistics to stderr at EOF")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="bind a Prometheus scrape endpoint on this"
+                            " port (0 = ephemeral; the bound port is"
+                            " announced on stderr)")
+    serve.add_argument("--stats-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="print a windowed dashboard line (QPS,"
+                            " p50/p99, queue depth, fallback %%) to"
+                            " stderr every N seconds")
+    serve.add_argument("--events", type=Path, default=None, metavar="PATH",
+                       help="append one JSONL record per sampled"
+                            " query/flush lifecycle to PATH")
+    serve.add_argument("--events-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="event sampling rate in [0, 1]"
+                            " (with --events)")
     serve.set_defaults(handler=_cmd_serve)
+
+    explain = sub.add_parser(
+        "explain",
+        help="full account of how one query is answered"
+             " (rectangles hit, candidates, retries, fallback path)",
+    )
+    explain.add_argument("index", type=Path)
+    explain.add_argument("--point", required=True,
+                         help="comma-separated query coordinates")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the raw QueryExplain document")
+    explain.set_defaults(handler=_cmd_explain)
 
     info = sub.add_parser("info", help="statistics of a saved index")
     info.add_argument("index", type=Path)
@@ -184,10 +231,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a sample workload with instrumentation enabled and"
              " print the collected metrics",
     )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="run the sample workload continuously and refresh a"
+             " windowed telemetry table (QPS, p50/p99) in place",
+    )
     stats.add_argument("--queries", type=int, default=20,
-                       help="workload size for --live")
+                       help="workload size for --live / --watch")
     stats.add_argument("--seed", type=int, default=0,
-                       help="workload seed for --live")
+                       help="workload seed for --live / --watch")
+    stats.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh period for --watch")
+    stats.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop --watch after this long"
+                            " (default: until interrupted)")
     stats.set_defaults(handler=_cmd_stats)
 
     experiment = sub.add_parser(
@@ -352,14 +411,16 @@ def _query_batch_file(args: argparse.Namespace, index) -> int:
 # ----------------------------------------------------------------------
 #
 # Request per line: a bare coordinate array ``[0.5, 0.5]`` or an object
-# ``{"point": [...], "id": ..., "timeout_ms": ...}``.  Response per line
-# (in input order): ``{"ok": true, "point_id": ..., "distance": ...,
-# "source": ..., "id": ...}`` or ``{"ok": false, "error": <code>,
-# "message": ...}``.  Responses stream as soon as the head of the
-# pipeline completes, so batching shows through without reordering.
+# ``{"point": [...], "id": ..., "timeout_ms": ..., "explain": true}``.
+# Response per line (in input order): ``{"ok": true, "point_id": ...,
+# "distance": ..., "source": ..., "id": ...}`` or ``{"ok": false,
+# "error": <code>, "message": ...}``; with ``"explain": true`` the ok
+# response additionally carries the full ``QueryExplain`` document under
+# ``"explain"``.  Responses stream as soon as the head of the pipeline
+# completes, so batching shows through without reordering.
 
 def _parse_serve_request(line: str, dim: int):
-    """``(point, request_id, timeout_ms)`` from one JSONL request line.
+    """``(point, request_id, timeout_ms, explain)`` from one JSONL line.
 
     Parse errors are raised as :class:`ValueError` with a ``request_id``
     attribute (when the request carried one), so the error response can
@@ -371,9 +432,11 @@ def _parse_serve_request(line: str, dim: int):
         raise ValueError(f"bad JSON: {err}") from None
     request_id = None
     timeout_ms = None
+    explain = False
     if isinstance(payload, dict):
         request_id = payload.get("id")
         timeout_ms = payload.get("timeout_ms")
+        explain = bool(payload.get("explain", False))
         payload = payload.get("point")
 
     def bail(message: str) -> "ValueError":
@@ -387,11 +450,17 @@ def _parse_serve_request(line: str, dim: int):
         point = [float(v) for v in payload]
     except (TypeError, ValueError):
         raise bail("point coordinates must be numbers") from None
-    return point, request_id, timeout_ms
+    return point, request_id, timeout_ms, explain
 
 
-def _serve_response(pending, request_id) -> dict:
-    """Resolve one pending request into a JSON-serialisable response."""
+def _serve_response(pending, request_id, explain_point, index) -> dict:
+    """Resolve one pending request into a JSON-serialisable response.
+
+    ``explain_point`` is the request's point when it asked for an
+    explanation, else ``None``; the explain traversal runs here, after
+    the answer, so it never slows the micro-batched path for requests
+    that did not opt in.
+    """
     try:
         result = pending.result()
         response = {
@@ -400,11 +469,43 @@ def _serve_response(pending, request_id) -> dict:
             "distance": result.distance,
             "source": result.source,
         }
+        if explain_point is not None:
+            response["explain"] = index.explain(explain_point).as_dict()
     except ServeError as err:
         response = {"ok": False, "error": err.code, "message": str(err)}
     if request_id is not None:
         response["id"] = request_id
     return response
+
+
+def _resolve_entry(entry, index) -> dict:
+    """One pipeline entry — already-decided dict or pending — resolved."""
+    head, head_id, explain_point = entry
+    if isinstance(head, dict):
+        return head
+    return _serve_response(head, head_id, explain_point, index)
+
+
+def _serve_telemetry(args: argparse.Namespace) -> "TelemetrySession | None":
+    """A :class:`TelemetrySession` when any serve telemetry flag is set."""
+    config = TelemetryConfig(
+        metrics_port=args.metrics_port,
+        stats_interval_s=args.stats_interval,
+        events_path=str(args.events) if args.events is not None else None,
+        events_sample=args.events_sample,
+    )
+    if not config.active:
+        return None
+    if args.events is not None:
+        _require_parent_dir(args.events, "events")
+    session = TelemetrySession(config)
+    if session.port is not None:
+        print(
+            f"metrics endpoint: http://{config.metrics_host}:"
+            f"{session.port}/metrics",
+            file=sys.stderr, flush=True,
+        )
+    return session
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -421,54 +522,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "one JSON request per line on stdin",
         file=sys.stderr,
     )
-    pipeline: "deque" = deque()  # (pending | response dict, request id)
-    with QueryService(index, config) as service:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            request_id = None
-            try:
-                point, request_id, timeout_ms = _parse_serve_request(
-                    line, index.dim
+    telemetry = _serve_telemetry(args)
+    # Entries: (pending | response dict, request id, explain point).
+    pipeline: "deque" = deque()
+    try:
+        with QueryService(index, config) as service:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                request_id = None
+                try:
+                    point, request_id, timeout_ms, explain = (
+                        _parse_serve_request(line, index.dim)
+                    )
+                    pipeline.append((
+                        service.submit_async(point, timeout_ms=timeout_ms),
+                        request_id,
+                        point if explain else None,
+                    ))
+                except (ValueError, ServeError) as err:
+                    code = (
+                        err.code if isinstance(err, ServeError)
+                        else "bad_request"
+                    )
+                    request_id = getattr(err, "request_id", request_id)
+                    response = {
+                        "ok": False, "error": code, "message": str(err),
+                    }
+                    if request_id is not None:
+                        response["id"] = request_id
+                    pipeline.append((response, None, None))
+                # Stream every response that is already decided,
+                # preserving input order (the head may still be in
+                # flight).
+                while pipeline and (
+                    isinstance(pipeline[0][0], dict) or pipeline[0][0].done()
+                ):
+                    print(
+                        json.dumps(_resolve_entry(pipeline.popleft(), index)),
+                        flush=True,
+                    )
+            while pipeline:
+                print(
+                    json.dumps(_resolve_entry(pipeline.popleft(), index)),
+                    flush=True,
                 )
-                pipeline.append(
-                    (service.submit_async(point, timeout_ms=timeout_ms),
-                     request_id)
-                )
-            except (ValueError, ServeError) as err:
-                code = (
-                    err.code if isinstance(err, ServeError) else "bad_request"
-                )
-                request_id = getattr(err, "request_id", request_id)
-                response = {
-                    "ok": False, "error": code, "message": str(err),
-                }
-                if request_id is not None:
-                    response["id"] = request_id
-                pipeline.append((response, None))
-            # Stream every response that is already decided, preserving
-            # input order (the head may still be in flight).
-            while pipeline and (
-                isinstance(pipeline[0][0], dict) or pipeline[0][0].done()
-            ):
-                head, head_id = pipeline.popleft()
-                response = (
-                    head if isinstance(head, dict)
-                    else _serve_response(head, head_id)
-                )
-                print(json.dumps(response), flush=True)
-        while pipeline:
-            head, head_id = pipeline.popleft()
-            response = (
-                head if isinstance(head, dict)
-                else _serve_response(head, head_id)
+            stats = service.stats()
+        if args.stats:
+            print(
+                obs_export.stats_table(stats, "Serving statistics").render(),
+                file=sys.stderr,
             )
-            print(json.dumps(response), flush=True)
-        stats = service.stats()
-    if args.stats:
-        print(obs_export.stats_table(stats, "Serving statistics").render(),
-              file=sys.stderr)
+            if telemetry is not None:
+                print(
+                    obs_timeseries.telemetry_table(
+                        telemetry.timeseries
+                    ).render(),
+                    file=sys.stderr,
+                )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     return 0
 
 
@@ -484,6 +599,43 @@ def _parse_point(text: str, dim: int) -> np.ndarray:
     return np.asarray(values)
 
 
+#: explain prints every rectangle/candidate up to this many, then elides.
+_EXPLAIN_PRINT_LIMIT = 10
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    point = _parse_point(args.point, index.dim)
+    result = index.explain(point)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0
+    coords = ", ".join(f"{c:.4f}" for c in result.query)
+    print(f"query: [{coords}]")
+    retry = "  (after tolerance retry)" if result.retried_atol else ""
+    print(f"path:  {result.path}{retry}")
+    print(f"atol:  {result.atol:g}")
+    print(
+        f"answer: point {result.nearest_id}"
+        f"  distance {result.nearest_distance:.6f}"
+    )
+    print(
+        f"cost:  {result.pages} pages, "
+        f"{result.nodes_visited} index nodes visited"
+    )
+    if not result.candidates:
+        print("no cell candidates: branch-and-bound fallback answered")
+        return 0
+    print(f"leaf rectangles containing the query: {len(result.rectangles)}")
+    print(f"candidates ({len(result.candidates)}, nearest first):")
+    for pid, dist in result.candidates[:_EXPLAIN_PRINT_LIMIT]:
+        marker = "  <- answer" if pid == result.nearest_id else ""
+        print(f"  point {pid:>6}  distance {dist:.6f}{marker}")
+    if len(result.candidates) > _EXPLAIN_PRINT_LIMIT:
+        print(f"  ... ({len(result.candidates) - _EXPLAIN_PRINT_LIMIT} more)")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     print(f"index: {args.index}")
@@ -497,6 +649,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     _print_stats(index.stats(), f"Index statistics: {args.index}")
+    if args.watch:
+        return _stats_watch(args, index)
     if args.live:
         workload = query_points(args.queries, index.dim, seed=args.seed)
         with obs_metrics.collecting(fresh=True) as registry:
@@ -507,6 +661,54 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             obs_export.metrics_table(
                 registry,
                 f"Live metrics ({args.queries} sample queries)",
+            ).render()
+        )
+    return 0
+
+
+def _stats_watch(args: argparse.Namespace, index) -> int:
+    """``stats --watch``: drive the sample workload and render windows.
+
+    Each query's wall-clock latency is recorded as ``query.latency_ms``,
+    which the dashboard falls back to when there is no serving layer —
+    so the table shows the same QPS/p50/p99 columns ``serve
+    --stats-interval`` prints, sourced from direct ``nearest`` calls.
+    Runs until ``--duration`` elapses (or Ctrl-C).
+    """
+    workload = query_points(args.queries, index.dim, seed=args.seed)
+    if args.interval <= 0:
+        raise ValueError("--interval must be > 0")
+    deadline = (
+        None if args.duration is None
+        else time.monotonic() + args.duration
+    )
+    with TelemetrySession(TelemetryConfig()) as session:
+        next_render = time.monotonic() + args.interval
+        i = 0
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                q = workload[i % len(workload)]
+                i += 1
+                started = time.perf_counter()
+                index.nearest(q)
+                obs_metrics.observe(
+                    "query.latency_ms",
+                    1e3 * (time.perf_counter() - started),
+                )
+                now = time.monotonic()
+                if now >= next_render:
+                    print(
+                        obs_timeseries.telemetry_table(
+                            session.timeseries
+                        ).render()
+                    )
+                    print(flush=True)
+                    next_render = now + args.interval
+        except KeyboardInterrupt:
+            pass
+        print(
+            obs_timeseries.telemetry_table(
+                session.timeseries, title=f"Live telemetry ({i} queries)"
             ).render()
         )
     return 0

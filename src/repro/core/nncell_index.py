@@ -26,8 +26,9 @@ the returned :class:`QueryInfo`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -38,7 +39,7 @@ from ..index.bulk import bulk_load
 from ..index.nnsearch import hs_k_nearest, rkv_nearest
 from ..index.rstar import RStarTree
 from ..index.xtree import XTree
-from ..obs import metrics
+from ..obs import events, metrics
 from ..obs.tracing import span
 from ..storage.page import DEFAULT_PAGE_SIZE
 from .approximation import approximate_cell
@@ -49,9 +50,11 @@ from .decomposition import DecompositionConfig, decompose_cell
 __all__ = [
     "BuildConfig",
     "NNCellIndex",
+    "QueryExplain",
     "QueryInfo",
     "approximate_system",
     "compute_cell",
+    "fallback_reason",
     "load_data_tree",
     "make_tree",
 ]
@@ -110,6 +113,77 @@ class QueryInfo:
     distance_computations: int = 0
     fallback: bool = False  # branch-and-bound fallback was used
     retried_atol: bool = False  # point query repeated with looser tolerance
+
+
+def fallback_reason(info: QueryInfo) -> "Optional[str]":
+    """Why a query left the cell fast path, or ``None`` if it did not.
+
+    ``"outside_data_space"``: the query point lies where NN-cells are
+    undefined; ``"empty_point_query"``: the point query returned no
+    candidates even after the loosened-tolerance retry.  Shared by the
+    event log and :meth:`NNCellIndex.explain` so both report the same
+    vocabulary.
+    """
+    if not info.fallback:
+        return None
+    return "empty_point_query" if info.retried_atol else "outside_data_space"
+
+
+@dataclass
+class QueryExplain:
+    """Full account of how one query was (or would be) answered.
+
+    Produced by :meth:`NNCellIndex.explain`; the answer fields agree
+    bit-for-bit with :meth:`NNCellIndex.nearest` on the same query.
+    ``path`` is the route taken:
+
+    * ``"cell"`` — point query on the solution space succeeded directly;
+    * ``"cell_retry"`` — succeeded after the loosened-tolerance retry;
+    * ``"outside_data_space"`` / ``"empty_point_query"`` — the
+      branch-and-bound fallback answered (same vocabulary as
+      :func:`fallback_reason`).
+    """
+
+    query: np.ndarray
+    path: str
+    atol: float  # tolerance that produced the final candidate set
+    retried_atol: bool
+    nearest_id: int
+    nearest_distance: float
+    #: Leaf rectangles containing the query: ``(owner id, rect)``, in
+    #: traversal order; one owner appears once per (decomposed) piece hit.
+    rectangles: "List[Tuple[int, MBR]]"
+    #: Deduplicated ``(owner id, distance)`` pairs, nearest first.
+    candidates: "List[Tuple[int, float]]"
+    nodes_visited: int
+    pages: int
+
+    def as_dict(self) -> "Dict[str, Any]":
+        """JSON-ready view (the ``repro explain`` / serve echo payload)."""
+        return {
+            "query": [float(v) for v in self.query],
+            "path": self.path,
+            "atol": float(self.atol),
+            "retried_atol": self.retried_atol,
+            "nearest_id": int(self.nearest_id),
+            "nearest_distance": float(self.nearest_distance),
+            "n_rectangles": len(self.rectangles),
+            "rectangles": [
+                {
+                    "owner": int(owner),
+                    "low": [float(v) for v in rect.low],
+                    "high": [float(v) for v in rect.high],
+                }
+                for owner, rect in self.rectangles
+            ],
+            "n_candidates": len(self.candidates),
+            "candidates": [
+                {"id": int(pid), "distance": float(dist)}
+                for pid, dist in self.candidates
+            ],
+            "nodes_visited": int(self.nodes_visited),
+            "pages": int(self.pages),
+        }
 
 
 # ======================================================================
@@ -331,6 +405,23 @@ class NNCellIndex:
         q = np.asarray(query, dtype=np.float64)
         if q.shape != (self.dim,):
             raise ValueError(f"query must be a {self.dim}-vector")
+        if not events.enabled():
+            return self._nearest_impl(q)
+        start = time.perf_counter()
+        point_id, distance, info = self._nearest_impl(q)
+        events.emit(
+            "query",
+            outcome="fallback" if info.fallback else "cell",
+            point_id=int(point_id),
+            candidates=info.n_candidates,
+            pages=info.pages,
+            retried_atol=info.retried_atol,
+            fallback_reason=fallback_reason(info),
+            duration_ms=1e3 * (time.perf_counter() - start),
+        )
+        return point_id, distance, info
+
+    def _nearest_impl(self, q: np.ndarray) -> "Tuple[int, float, QueryInfo]":
         info = QueryInfo()
         with span("query.nearest", dim=self.dim) as root:
             if not self.box.contains_point(q, atol=self.config.query_atol):
@@ -504,6 +595,106 @@ class NNCellIndex:
         """Vectorised convenience: NN ids and distances for many queries."""
         ids, dists, __ = self.query_batch(queries)
         return ids, dists
+
+    def explain(self, query: Sequence[float]) -> QueryExplain:
+        """Why ``query``'s answer is what it is: a :class:`QueryExplain`.
+
+        Re-runs the :meth:`nearest` decision procedure while recording
+        what each step saw — the leaf rectangles containing the point,
+        the deduplicated candidate owners with their distances, the
+        tolerance retries, and which path produced the answer.  The
+        returned ``nearest_id``/``nearest_distance`` match
+        :meth:`nearest` exactly (same candidate set, same tie-break).
+
+        Surfaced as ``python -m repro explain`` and as the serve JSONL
+        protocol's ``"explain": true`` request field.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query must be a {self.dim}-vector")
+        atol = self.config.query_atol
+        if not self.box.contains_point(q, atol=atol):
+            result = rkv_nearest(self.data_tree, q)
+            return QueryExplain(
+                query=q, path="outside_data_space", atol=atol,
+                retried_atol=False, nearest_id=result.nearest_id,
+                nearest_distance=result.nearest_distance, rectangles=[],
+                candidates=[], nodes_visited=0, pages=result.pages,
+            )
+        path = "cell"
+        retried = False
+        rectangles, visited, pages = self._explain_point_query(q, atol)
+        if not rectangles:
+            # Mirror nearest(): one retry with a much looser tolerance.
+            path, retried = "cell_retry", True
+            atol = max(self.config.query_atol * 1e4, 1e-6)
+            rectangles, more_visited, more_pages = (
+                self._explain_point_query(q, atol)
+            )
+            visited += more_visited
+            pages += more_pages
+        if not rectangles:
+            result = rkv_nearest(self.data_tree, q)
+            return QueryExplain(
+                query=q, path="empty_point_query", atol=atol,
+                retried_atol=True, nearest_id=result.nearest_id,
+                nearest_distance=result.nearest_distance, rectangles=[],
+                candidates=[], nodes_visited=visited,
+                pages=pages + result.pages,
+            )
+        # np.unique sorts ids, and argsort is stable — so among
+        # equidistant owners the lowest id wins, exactly as nearest()'s
+        # argmin over the unique candidate array does.
+        owners = np.unique([owner for owner, _ in rectangles])
+        dist = np.sqrt(distances_to_points(q, self.points[owners]))
+        order = np.argsort(dist)
+        candidates = [
+            (int(owners[i]), float(dist[i])) for i in order
+        ]
+        return QueryExplain(
+            query=q, path=path, atol=atol, retried_atol=retried,
+            nearest_id=candidates[0][0],
+            nearest_distance=candidates[0][1],
+            rectangles=rectangles, candidates=candidates,
+            nodes_visited=visited, pages=pages,
+        )
+
+    def _explain_point_query(
+        self, q: np.ndarray, atol: float
+    ) -> "Tuple[List[Tuple[int, MBR]], int, int]":
+        """The cell tree's point query, keeping the hit rectangles.
+
+        Same containment arithmetic as ``RStarTree.point_query`` but
+        returns ``(rectangles, nodes visited, pages read)`` instead of
+        bare owner ids.
+        """
+        tree = self.cell_tree
+        before = tree.pages.stats.logical_reads
+        rectangles: "List[Tuple[int, MBR]]" = []
+        visited = 0
+        stack = [tree.root_id]
+        while stack:
+            node = tree._read(stack.pop())
+            visited += 1
+            if node.n_entries == 0:
+                continue
+            mask = np.logical_and(
+                np.all(node.lows <= q + atol, axis=1),
+                np.all(q <= node.highs + atol, axis=1),
+            )
+            hits = np.flatnonzero(mask)
+            if node.is_leaf:
+                rectangles.extend(
+                    (
+                        int(node.ids[i]),
+                        MBR(node.lows[i].copy(), node.highs[i].copy()),
+                    )
+                    for i in hits
+                )
+            else:
+                stack.extend(int(node.ids[i]) for i in hits)
+        pages = tree.pages.stats.logical_reads - before
+        return rectangles, visited, pages
 
     # ==================================================================
     # Dynamic updates

@@ -26,6 +26,7 @@ containment test materialises an ``entries × queries`` mask per node);
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -33,7 +34,7 @@ import numpy as np
 
 from ..index.nnsearch import rkv_nearest
 from ..index.rstar import RStarTree
-from ..obs import metrics
+from ..obs import events, metrics
 from ..obs.tracing import span
 
 __all__ = ["BatchQueryInfo", "batched_point_query", "query_batch"]
@@ -124,6 +125,8 @@ def query_batch(
     if m == 0:
         return ids, dists, info
     size = m if batch_size is None else min(batch_size, m)
+    emit_events = events.enabled()
+    started = time.perf_counter() if emit_events else 0.0
     metrics.inc("query.batch.count")
     metrics.inc("query.batch.queries", m)
     metrics.observe("query.batch_size", m)
@@ -140,6 +143,16 @@ def query_batch(
         root.set("candidates", info.n_candidates)
         root.set("fallbacks", info.fallbacks)
     metrics.observe("query.batch.pages", info.pages)
+    if emit_events:
+        events.emit(
+            "batch",
+            n_queries=m,
+            candidates=info.n_candidates,
+            pages=info.pages,
+            fallbacks=info.fallbacks,
+            retried_atol=info.retried_atol,
+            duration_ms=1e3 * (time.perf_counter() - started),
+        )
     return ids, dists, info
 
 

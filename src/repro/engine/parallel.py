@@ -46,7 +46,7 @@ from ..core.nncell_index import (
 from ..geometry.halfspace import HalfspaceSystem
 from ..geometry.mbr import MBR
 from ..lp import interface as lp_interface
-from ..obs import metrics
+from ..obs import events, metrics
 from ..obs.tracing import span
 
 __all__ = [
@@ -240,6 +240,14 @@ def parallel_cells(
                     ws.set("worker_cpu_seconds", result.cpu_seconds)
                 metrics.inc("build.parallel.chunks")
                 metrics.observe("build.chunk_points", int(chunk.shape[0]))
+                if events.enabled():
+                    events.emit(
+                        "build_chunk",
+                        worker=result.worker,
+                        n_points=int(chunk.shape[0]),
+                        lp_calls=result.lp_calls,
+                        duration_ms=1e3 * result.cpu_seconds,
+                    )
                 total_lp_calls += result.lp_calls
                 cells.extend(result.cells)
         if config.executor == "thread":

@@ -1,19 +1,31 @@
-"""Observability: metrics registry, span tracing, profile exporters.
+"""Observability: metrics, tracing, live telemetry, profile exporters.
 
-Three small modules with one job each:
+Six small modules with one job each:
 
 * :mod:`repro.obs.metrics` — process-wide counters / gauges /
   histograms, free when disabled, thread-safe when enabled;
 * :mod:`repro.obs.tracing` — nested wall-clock spans propagated via
   ``contextvars``;
+* :mod:`repro.obs.timeseries` — sliding-window (1s/10s/60s) per-second
+  buckets over serving/query metrics, feeding the live dashboards;
+* :mod:`repro.obs.events` — sampled structured event log, one record
+  per query / flush / build-chunk lifecycle;
+* :mod:`repro.obs.promexport` — Prometheus text exposition plus the
+  ``--metrics-port`` HTTP scrape endpoint;
 * :mod:`repro.obs.export` — JSON / CSV / table exporters and the
   ``--profile`` document format.
 
-See ``docs/observability.md`` for the metric-name and span taxonomy.
+See ``docs/observability.md`` for the metric-name and span taxonomy and
+the "Live telemetry" section for windows, event schema and scrape names.
 """
 
-from . import export, metrics, tracing
+from . import events, export, metrics, promexport, timeseries, tracing
+from .events import EventLog
 from .export import (
+    ProfileDecodeError,
+    ProfileError,
+    ProfileSchemaError,
+    ProfileVersionError,
     load_profile,
     metrics_table,
     metrics_to_csv,
@@ -24,16 +36,34 @@ from .export import (
     write_profile,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .promexport import MetricsServer, parse_exposition, render_prometheus
+from .timeseries import (
+    TimeSeries,
+    dashboard,
+    dashboard_line,
+    telemetry_table,
+)
 from .tracing import Span, Tracer, current_span, span, traced
 
 __all__ = [
     "metrics",
     "tracing",
+    "timeseries",
+    "events",
+    "promexport",
     "export",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TimeSeries",
+    "EventLog",
+    "MetricsServer",
+    "render_prometheus",
+    "parse_exposition",
+    "dashboard",
+    "dashboard_line",
+    "telemetry_table",
     "Span",
     "Tracer",
     "span",
@@ -47,4 +77,8 @@ __all__ = [
     "trace_to_list",
     "write_profile",
     "load_profile",
+    "ProfileError",
+    "ProfileDecodeError",
+    "ProfileVersionError",
+    "ProfileSchemaError",
 ]

@@ -1,0 +1,213 @@
+"""Structured event log: one sampled record per pipeline lifecycle.
+
+Metrics answer *aggregate* questions; an event log answers "what did
+**this** query / flush / build chunk do".  Each record is one flat,
+JSON-ready dict with a ``kind``, a wall-clock ``ts``, a process-unique
+``seq``, and the lifecycle's outcome fields (timing, candidate count,
+pages, fallback reason).  The three kinds emitted by the pipeline:
+
+========== ============================ ==============================
+kind       emitted by                    payload (beyond kind/ts/seq)
+========== ============================ ==============================
+``query``  ``NNCellIndex.nearest``       outcome, point_id, candidates,
+                                         pages, retried_atol,
+                                         fallback_reason, duration_ms
+``batch``  ``engine.batch.query_batch``  n_queries, candidates, pages,
+                                         fallbacks, retried_atol,
+                                         duration_ms
+``flush``  ``serve.QueryService``        outcome, n_requests, pages,
+                                         sources, expired, duration_ms
+``build_chunk`` ``engine.parallel``      worker, n_points, lp_calls,
+                                         duration_ms
+========== ============================ ==============================
+
+Like :mod:`repro.obs.metrics`, the log is **off by default** and every
+hot-path emission site guards with one module-level boolean
+(:func:`enabled`), so a disabled process pays a single check — the same
+< 3% overhead contract, enforced by ``tests/obs/test_events.py``.
+
+When enabled, records land in a bounded ring buffer (oldest evicted
+first) and, optionally, a JSONL sink — one ``json.dumps`` line per
+record, the format ``python -m repro serve --events PATH`` writes.
+Sampling (``sample=0.1`` keeps ~10%) uses a seeded RNG so runs are
+reproducible; ``emitted``/``recorded`` counters make the sampling rate
+auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import random
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EventLog",
+    "collecting",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "get_log",
+]
+
+#: Ring-buffer bound: how many recent records a log retains in memory.
+DEFAULT_CAPACITY = 1024
+
+
+class EventLog:
+    """Bounded in-memory ring of event records plus an optional sink.
+
+    ``sink`` may be a file-like object (borrowed: not closed) or a
+    path (owned: opened for append, closed by :meth:`close`).  All
+    mutation is serialised by one lock, so worker threads and the serve
+    flush loop can share a log.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sample: float = 1.0,
+        sink: "Any | None" = None,
+        seed: int = 0,
+        clock: "Callable[[], float]" = time.time,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be in [0, 1]")
+        self.capacity = capacity
+        self.sample = sample
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        #: Lifecycles seen (including ones dropped by sampling).
+        self.emitted = 0
+        #: Records actually retained / written.
+        self.recorded = 0
+        self._own_sink = isinstance(sink, (str, Path))
+        self._sink = (
+            open(sink, "a", encoding="utf-8") if self._own_sink else sink
+        )
+
+    def emit(self, kind: str, **fields: Any) -> bool:
+        """Record one lifecycle; returns whether it survived sampling."""
+        with self._lock:
+            self.emitted += 1
+            if self.sample < 1.0 and self._rng.random() >= self.sample:
+                return False
+            record: "Dict[str, Any]" = {
+                "seq": self.emitted,
+                "ts": self._clock(),
+                "kind": kind,
+            }
+            record.update(fields)
+            self._ring.append(record)
+            self.recorded += 1
+            if self._sink is not None:
+                self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+                self._sink.flush()
+        return True
+
+    def records(self, kind: "str | None" = None) -> "List[Dict[str, Any]]":
+        """A snapshot of the retained records, optionally one kind."""
+        with self._lock:
+            records = list(self._ring)
+        if kind is None:
+            return records
+        return [r for r in records if r["kind"] == kind]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        """Close an owned (path-opened) sink; borrowed sinks are kept."""
+        with self._lock:
+            if self._own_sink and self._sink is not None:
+                self._sink.close()
+            self._sink = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+# ======================================================================
+# Module-level fast path (mirrors repro.obs.metrics)
+# ======================================================================
+
+_enabled = False
+_log: "Optional[EventLog]" = None
+
+
+def enabled() -> bool:
+    """Whether lifecycle events are currently being recorded."""
+    return _enabled
+
+
+def enable(log: "Optional[EventLog]" = None, **kwargs: Any) -> EventLog:
+    """Turn event recording on.
+
+    Pass an existing :class:`EventLog`, or constructor ``kwargs``
+    (``capacity``, ``sample``, ``sink``, ``seed``) for a fresh one; with
+    neither, the previous log is reused (a fresh default one on first
+    use).
+    """
+    global _enabled, _log
+    if log is not None and kwargs:
+        raise ValueError("pass an EventLog or constructor kwargs, not both")
+    if log is not None:
+        _log = log
+    elif kwargs or _log is None:
+        _log = EventLog(**kwargs)
+    _enabled = True
+    return _log
+
+
+def disable() -> None:
+    """Turn event recording off (the log keeps its retained records)."""
+    global _enabled
+    _enabled = False
+
+
+def get_log() -> "Optional[EventLog]":
+    """The installed log, or ``None`` if events never started."""
+    return _log
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Hot-path emission; no-op (one boolean check) unless enabled."""
+    if not _enabled:
+        return
+    _log.emit(kind, **fields)
+
+
+@contextmanager
+def collecting(**kwargs: Any) -> "Iterator[EventLog]":
+    """Record events for a ``with`` block onto a fresh log.
+
+    Restores the previous enablement state and log on exit::
+
+        with events.collecting() as log:
+            index.nearest(q)
+        log.records("query")
+    """
+    global _enabled, _log
+    prev_enabled, prev_log = _enabled, _log
+    fresh = EventLog(**kwargs)
+    _log = fresh
+    _enabled = True
+    try:
+        yield fresh
+    finally:
+        _enabled = prev_enabled
+        _log = prev_log
+        fresh.close()

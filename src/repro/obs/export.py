@@ -33,9 +33,35 @@ __all__ = [
     "trace_to_list",
     "write_profile",
     "load_profile",
+    "ProfileError",
+    "ProfileDecodeError",
+    "ProfileVersionError",
+    "ProfileSchemaError",
 ]
 
 PROFILE_FORMAT_VERSION = 1
+
+
+class ProfileError(ValueError):
+    """A profile document could not be loaded.
+
+    Base class for every :func:`load_profile` failure, so callers can
+    catch one type; subclasses say *why* (not JSON at all, wrong format
+    version, missing required keys).  Subclasses ``ValueError`` so
+    pre-existing ``except ValueError`` call sites keep working.
+    """
+
+
+class ProfileDecodeError(ProfileError):
+    """The file is not valid JSON (or not a JSON object)."""
+
+
+class ProfileVersionError(ProfileError):
+    """The document's ``format_version`` is not one this code reads."""
+
+
+class ProfileSchemaError(ProfileError):
+    """The document is missing a required top-level key."""
 
 
 # ======================================================================
@@ -152,8 +178,34 @@ def write_profile(
 
 
 def load_profile(path: "str | Path") -> "Dict[str, Any]":
-    """Read a profile document written by :func:`write_profile`."""
-    document = json.loads(Path(path).read_text())
-    if "metrics" not in document or "trace" not in document:
-        raise ValueError(f"{path} is not a repro profile document")
+    """Read a profile document written by :func:`write_profile`.
+
+    Raises a typed :class:`ProfileError` subclass — never a bare
+    ``KeyError`` or ``json.JSONDecodeError`` — so callers comparing
+    profiles across runs can distinguish "corrupt file", "produced by an
+    incompatible version" and "not a profile at all".
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ProfileDecodeError(
+            f"{path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ProfileDecodeError(
+            f"{path} is not a JSON object "
+            f"(got {type(document).__name__})"
+        )
+    version = document.get("format_version")
+    if version != PROFILE_FORMAT_VERSION:
+        raise ProfileVersionError(
+            f"{path} has format_version {version!r}; "
+            f"this build reads version {PROFILE_FORMAT_VERSION}"
+        )
+    missing = [key for key in ("metrics", "trace") if key not in document]
+    if missing:
+        raise ProfileSchemaError(
+            f"{path} is not a repro profile document: "
+            f"missing key(s) {', '.join(missing)}"
+        )
     return document

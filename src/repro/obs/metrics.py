@@ -31,9 +31,14 @@ taxonomy is documented in ``docs/observability.md``.
 from __future__ import annotations
 
 import math
+import random
 import threading
+import zlib
 from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with the sink module
+    from .timeseries import TimeSeries
 
 __all__ = [
     "Counter",
@@ -50,10 +55,16 @@ __all__ = [
     "snapshot",
     "delta_since",
     "collecting",
+    "install_timeseries",
+    "uninstall_timeseries",
+    "get_timeseries",
 ]
 
 #: Histograms keep exact count/sum/min/max forever but cap the stored
 #: sample list, so month-long processes cannot grow without bound.
+#: Past the cap, reservoir sampling keeps the stored list a uniform
+#: sample of *everything* observed, so long-run percentiles do not
+#: freeze on the warm-up distribution.
 HISTOGRAM_SAMPLE_CAP = 65_536
 
 
@@ -89,11 +100,15 @@ class Histogram:
     """A distribution of observed values.
 
     Count, sum, min and max are exact; percentiles are computed from a
-    sample list capped at :data:`HISTOGRAM_SAMPLE_CAP` observations
-    (observations past the cap still update the exact aggregates).
+    stored sample capped at :data:`HISTOGRAM_SAMPLE_CAP` observations.
+    Past the cap the sample is maintained by *reservoir sampling*
+    (Vitter's Algorithm R with a per-histogram seeded RNG, so runs are
+    reproducible): every observation — early or late — has an equal
+    chance of being represented, which keeps long-running percentiles
+    honest instead of frozen on the first 65 536 warm-up values.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_rng")
 
     def __init__(self, name: str):
         self.name = name
@@ -102,6 +117,9 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._samples: "List[float]" = []
+        # Deterministic per-name seed: reproducible independent of
+        # creation order and of Python's randomized str hashing.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -113,6 +131,12 @@ class Histogram:
             self.max = value
         if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
             self._samples.append(value)
+        else:
+            # Algorithm R: the i-th observation replaces a random slot
+            # with probability cap/i, leaving a uniform sample.
+            j = self._rng.randrange(self.count)
+            if j < len(self._samples):
+                self._samples[j] = value
 
     @property
     def mean(self) -> float:
@@ -281,6 +305,7 @@ class MetricsRegistry:
 
 _enabled = False
 _registry = MetricsRegistry()
+_timeseries: "Optional[TimeSeries]" = None
 
 
 def enabled() -> bool:
@@ -306,11 +331,38 @@ def get_registry() -> MetricsRegistry:
     return _registry
 
 
+def install_timeseries(ts: "TimeSeries") -> "TimeSeries":
+    """Mirror every *enabled* metric event into a sliding-window ring.
+
+    The :class:`~repro.obs.timeseries.TimeSeries` filters by name
+    prefix, so hot paths it does not track pay one attribute load plus
+    one ``tracks`` check.  The disabled fast path is untouched: with
+    metrics off, no event reaches the sink at all.
+    """
+    global _timeseries
+    _timeseries = ts
+    return ts
+
+
+def uninstall_timeseries() -> None:
+    """Stop mirroring metric events into the time-series ring."""
+    global _timeseries
+    _timeseries = None
+
+
+def get_timeseries() -> "Optional[TimeSeries]":
+    """The installed time-series sink, or ``None``."""
+    return _timeseries
+
+
 def inc(name: str, amount: float = 1.0) -> None:
     """Hot-path counter increment; no-op unless metrics are enabled."""
     if not _enabled:
         return
     _registry.inc(name, amount)
+    ts = _timeseries
+    if ts is not None:
+        ts.add(name, amount)
 
 
 def set_gauge(name: str, value: float) -> None:
@@ -318,6 +370,9 @@ def set_gauge(name: str, value: float) -> None:
     if not _enabled:
         return
     _registry.set_gauge(name, value)
+    ts = _timeseries
+    if ts is not None:
+        ts.set_gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:
@@ -325,6 +380,9 @@ def observe(name: str, value: float) -> None:
     if not _enabled:
         return
     _registry.observe(name, value)
+    ts = _timeseries
+    if ts is not None:
+        ts.observe(name, value)
 
 
 def snapshot() -> "Dict[str, float]":

@@ -1,0 +1,226 @@
+"""Prometheus text exposition of the metrics registry + scrape endpoint.
+
+Rendering follows the Prometheus text format (version 0.0.4):
+
+* counters are exposed as ``<name>_total`` with ``# TYPE ... counter``;
+* gauges keep their name with ``# TYPE ... gauge``;
+* histograms are exposed as *summaries* — ``<name>{quantile="0.5"}``
+  (plus 0.9/0.99), ``<name>_sum`` and ``<name>_count`` — because the
+  registry keeps sampled percentiles, not fixed buckets; exact min/max
+  ride along as ``<name>_min`` / ``<name>_max`` gauges.
+
+Metric names translate dots to underscores (``serve.latency_ms`` →
+``serve_latency_ms``); :func:`metric_name` is the single source of that
+mapping and :func:`parse_exposition` is the strict round-trip parser the
+telemetry smoke test validates scrapes with.
+
+:class:`MetricsServer` is a deliberately tiny stdlib ``http.server``
+wrapper — one daemon thread, ``GET /metrics`` for Prometheus,
+``GET /telemetry`` for the windowed JSON view when a
+:class:`~repro.obs.timeseries.TimeSeries` is attached, ``GET /healthz``
+for liveness.  It is wired into ``python -m repro serve
+--metrics-port`` (see ``docs/serving.md``); there is intentionally no
+auth, TLS or routing beyond that — run it on loopback or behind a real
+proxy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+from .timeseries import DEFAULT_WINDOWS, TimeSeries
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsServer",
+    "metric_name",
+    "parse_exposition",
+    "render_prometheus",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary quantile label -> key in ``Histogram.summary()``.
+_QUANTILES: "Tuple[Tuple[str, str], ...]" = (
+    ("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"),
+)
+
+
+def metric_name(name: str) -> str:
+    """A registry metric name as a valid Prometheus metric name."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Floats in Go-compatible exposition form (ints without ``.0``)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: "Optional[MetricsRegistry]" = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    data = (registry or get_registry()).as_dict()
+    lines: "list[str]" = []
+    for name, value in data["counters"].items():
+        prom = metric_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_format_value(value)}")
+    for name, value in data["gauges"].items():
+        prom = metric_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_format_value(value)}")
+    for name, summary in data["histograms"].items():
+        prom = metric_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for label, key in _QUANTILES:
+            value = summary.get(key, 0.0)
+            lines.append(
+                f'{prom}{{quantile="{label}"}} {_format_value(value)}'
+            )
+        lines.append(f"{prom}_sum {_format_value(summary['sum'])}")
+        lines.append(f"{prom}_count {_format_value(summary['count'])}")
+        if summary["count"]:
+            lines.append(f"# TYPE {prom}_min gauge")
+            lines.append(f"{prom}_min {_format_value(summary['min'])}")
+            lines.append(f"# TYPE {prom}_max gauge")
+            lines.append(f"{prom}_max {_format_value(summary['max'])}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def parse_exposition(text: str) -> "Dict[str, float]":
+    """Strictly parse exposition text into ``{sample_name: value}``.
+
+    Labels are folded into the key (``serve_latency_ms{quantile="0.5"}``
+    stays one sample).  Raises :class:`ValueError` on any line that is
+    neither a comment nor a well-formed sample — the validation the CI
+    telemetry smoke leg runs on a live scrape.
+    """
+    samples: "Dict[str, float]" = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        key = match.group("name") + (match.group("labels") or "")
+        try:
+            samples[key] = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"non-numeric sample value on line {lineno}: {line!r}"
+            ) from None
+    return samples
+
+
+class MetricsServer:
+    """Loopback HTTP scrape endpoint over one registry.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``) —
+    tests and the smoke tool rely on this.  Usable as a context
+    manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        registry: "Optional[MetricsRegistry]" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeseries: "Optional[TimeSeries]" = None,
+    ):
+        self.registry = registry  # None = the process-wide registry
+        self.timeseries = timeseries
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path in ("/metrics", "/"):
+                    body = render_prometheus(server.registry).encode()
+                    self._reply(200, CONTENT_TYPE, body)
+                elif self.path == "/telemetry":
+                    body = json.dumps(
+                        server.telemetry_document(), sort_keys=True
+                    ).encode()
+                    self._reply(200, "application/json", body)
+                elif self.path == "/healthz":
+                    self._reply(200, "text/plain", b"ok\n")
+                else:
+                    self._reply(404, "text/plain", b"not found\n")
+
+            def _reply(self, status: int, ctype: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # scrapes stay quiet
+                return None
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread: "Optional[threading.Thread]" = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def telemetry_document(self) -> "Dict[str, object]":
+        """The windowed JSON view served at ``/telemetry``."""
+        if self.timeseries is None:
+            return {"windows": {}}
+        return {
+            "windows": {
+                str(seconds): snapshot.as_dict()
+                for seconds, snapshot in
+                self.timeseries.windows(DEFAULT_WINDOWS).items()
+            }
+        }
+
+    def start(self) -> "MetricsServer":
+        """Serve scrapes on a daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,429 @@
+"""Windowed live telemetry: per-second buckets over selected metrics.
+
+The cumulative registry (:mod:`repro.obs.metrics`) answers "how much
+work has this process done"; an *operator* asks a different question —
+what is the p99 latency, queue depth and fallback rate **right now**.
+This module answers it with a lock-protected ring of per-second buckets:
+every tracked event lands in the bucket of its wall-clock second, and a
+*window* aggregates the last N seconds into rates and percentiles.
+
+Design constraints, matching the rest of ``repro.obs``:
+
+1. **Bounded memory.**  The ring holds ``horizon_seconds`` buckets
+   (default 120) and reuses slots modulo the horizon, so a month-long
+   serve process stores exactly as much as a two-minute one.  Per-bucket
+   histogram samples are reservoir-capped (seeded RNG, deterministic).
+2. **Cheap and optional.**  Nothing records here unless a
+   :class:`TimeSeries` is *installed* on the metrics module
+   (:func:`repro.obs.metrics.install_timeseries`); the disabled metrics
+   fast path is untouched, and the enabled path adds one ``None`` check.
+3. **Selective.**  Only names matching the configured prefixes are
+   tracked (default: ``serve.`` and ``query.``) — build-time counter
+   storms do not churn the serving dashboard.
+
+The standard windows are 1s / 10s / 60s (:data:`DEFAULT_WINDOWS`);
+:func:`dashboard` condenses one window into the operator quantities
+(QPS, p50/p99, queue depth, fallback %) and :func:`dashboard_line` /
+:func:`telemetry_table` render them for ``serve --stats-interval`` and
+``stats --watch``.  See ``docs/observability.md`` ("Live telemetry").
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BUCKET_SAMPLE_CAP",
+    "DEFAULT_HORIZON_SECONDS",
+    "DEFAULT_PREFIXES",
+    "DEFAULT_WINDOWS",
+    "MetricWindow",
+    "TimeSeries",
+    "WindowSnapshot",
+    "dashboard",
+    "dashboard_line",
+    "telemetry_table",
+]
+
+#: Sliding windows (seconds) rendered by the dashboard surfaces.
+DEFAULT_WINDOWS: "Tuple[int, ...]" = (1, 10, 60)
+
+#: Ring length: how far back a window may reach.
+DEFAULT_HORIZON_SECONDS = 120
+
+#: Metric-name prefixes tracked by default (serving + query traffic).
+DEFAULT_PREFIXES: "Tuple[str, ...]" = ("serve.", "query.")
+
+#: Reservoir cap on stored samples *per bucket per metric*.
+BUCKET_SAMPLE_CAP = 512
+
+_COUNTER = "counter"
+_HISTOGRAM = "histogram"
+_GAUGE = "gauge"
+
+
+class _Bucket:
+    """Aggregates of one metric within one wall-clock second."""
+
+    __slots__ = ("kind", "count", "total", "min", "max", "last", "samples")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+        self.samples: "List[float]" = []
+
+
+def _percentile(ordered: "List[float]", q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted sample list."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not ordered:
+        return 0.0
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class MetricWindow:
+    """One metric aggregated over one sliding window."""
+
+    __slots__ = (
+        "name", "kind", "seconds", "count", "total", "min", "max", "last",
+        "_samples",
+    )
+
+    def __init__(self, name: str, kind: str, seconds: float):
+        self.name = name
+        self.kind = kind
+        self.seconds = seconds
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+        self._samples: "List[float]" = []
+
+    def _merge(self, bucket: _Bucket) -> None:
+        self.count += bucket.count
+        self.total += bucket.total
+        if bucket.min < self.min:
+            self.min = bucket.min
+        if bucket.max > self.max:
+            self.max = bucket.max
+        self.last = bucket.last  # buckets are merged oldest -> newest
+        self._samples.extend(bucket.samples)
+
+    @property
+    def rate(self) -> float:
+        """Per-second rate over the window.
+
+        Counters: *amount* per second (e.g. pages/s); histograms:
+        *observations* per second (e.g. completed queries per second for
+        a latency histogram); gauges have no meaningful rate (0.0).
+        """
+        if self.seconds <= 0 or self.kind == _GAUGE:
+            return 0.0
+        if self.kind == _COUNTER:
+            return self.total / self.seconds
+        return self.count / self.seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the window's (reservoir-sampled) observations."""
+        return _percentile(sorted(self._samples), q)
+
+    def summary(self) -> "Dict[str, float]":
+        """JSON-ready aggregate view (used by the /telemetry endpoint)."""
+        if self.count == 0:
+            return {"count": 0, "rate": 0.0}
+        out = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "rate": self.rate,
+            "last": self.last,
+        }
+        if self.kind == _HISTOGRAM:
+            ordered = sorted(self._samples)
+            out["p50"] = _percentile(ordered, 50)
+            out["p95"] = _percentile(ordered, 95)
+            out["p99"] = _percentile(ordered, 99)
+        return out
+
+
+class WindowSnapshot:
+    """All tracked metrics aggregated over one sliding window."""
+
+    def __init__(self, seconds: float, metrics: "Dict[str, MetricWindow]"):
+        self.seconds = seconds
+        self.metrics = metrics
+
+    def get(self, name: str) -> "Optional[MetricWindow]":
+        return self.metrics.get(name)
+
+    def names(self) -> "List[str]":
+        return sorted(self.metrics)
+
+    def total(self, name: str, default: float = 0.0) -> float:
+        window = self.metrics.get(name)
+        return window.total if window is not None else default
+
+    def count(self, name: str, default: int = 0) -> int:
+        window = self.metrics.get(name)
+        return window.count if window is not None else default
+
+    def as_dict(self) -> "Dict[str, Dict[str, float]]":
+        return {
+            name: self.metrics[name].summary() for name in self.names()
+        }
+
+
+class TimeSeries:
+    """Lock-protected ring of per-second buckets for selected metrics.
+
+    Thread-safe: recorders (query threads, the serve flush loop) and
+    readers (the stats printer, the scrape endpoint) share one lock.
+    ``clock`` is injectable for tests; it must be monotonic seconds.
+    """
+
+    def __init__(
+        self,
+        horizon_seconds: int = DEFAULT_HORIZON_SECONDS,
+        prefixes: "Sequence[str]" = DEFAULT_PREFIXES,
+        sample_cap: int = BUCKET_SAMPLE_CAP,
+        clock: "Callable[[], float]" = time.monotonic,
+        seed: int = 0,
+    ):
+        if horizon_seconds < max(DEFAULT_WINDOWS):
+            raise ValueError(
+                f"horizon_seconds must cover the largest window "
+                f"({max(DEFAULT_WINDOWS)}s)"
+            )
+        if sample_cap < 1:
+            raise ValueError("sample_cap must be >= 1")
+        self._lock = threading.Lock()
+        self._prefixes = tuple(prefixes)
+        self._sample_cap = sample_cap
+        self._clock = clock
+        self._rng = random.Random(seed)
+        # Ring slot i holds (second, {name: _Bucket}) for a second with
+        # ``second % horizon == i``; a slot is reset lazily when a new
+        # second claims it.
+        self._ring: "List[Optional[Tuple[int, Dict[str, _Bucket]]]]" = (
+            [None] * int(horizon_seconds)
+        )
+
+    # ------------------------------------------------------------------
+    # Recording (called from repro.obs.metrics when installed)
+    # ------------------------------------------------------------------
+    def tracks(self, name: str) -> bool:
+        """Whether ``name`` falls inside the configured prefixes."""
+        return name.startswith(self._prefixes)
+
+    def _bucket(self, name: str, kind: str) -> _Bucket:
+        """The current second's bucket for ``name`` (caller holds lock)."""
+        second = int(self._clock())
+        slot = second % len(self._ring)
+        entry = self._ring[slot]
+        if entry is None or entry[0] != second:
+            entry = (second, {})
+            self._ring[slot] = entry
+        bucket = entry[1].get(name)
+        if bucket is None:
+            bucket = entry[1][name] = _Bucket(kind)
+        return bucket
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Counter increment within the current second."""
+        if not self.tracks(name):
+            return
+        with self._lock:
+            bucket = self._bucket(name, _COUNTER)
+            bucket.count += 1
+            bucket.total += amount
+            bucket.last = amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Histogram observation within the current second."""
+        if not self.tracks(name):
+            return
+        value = float(value)
+        with self._lock:
+            bucket = self._bucket(name, _HISTOGRAM)
+            bucket.count += 1
+            bucket.total += value
+            if value < bucket.min:
+                bucket.min = value
+            if value > bucket.max:
+                bucket.max = value
+            bucket.last = value
+            if len(bucket.samples) < self._sample_cap:
+                bucket.samples.append(value)
+            else:
+                j = self._rng.randrange(bucket.count)
+                if j < self._sample_cap:
+                    bucket.samples[j] = value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Gauge update within the current second (keeps last and max)."""
+        if not self.tracks(name):
+            return
+        value = float(value)
+        with self._lock:
+            bucket = self._bucket(name, _GAUGE)
+            bucket.count += 1
+            bucket.total += value
+            if value < bucket.min:
+                bucket.min = value
+            if value > bucket.max:
+                bucket.max = value
+            bucket.last = value
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def window(self, seconds: int) -> WindowSnapshot:
+        """Aggregate of the last ``seconds`` buckets (current one included).
+
+        ``seconds`` is clamped to the ring horizon.  Rates divide by the
+        nominal window length, so a window that is still filling reports
+        a conservative (lower) rate rather than an extrapolated one.
+        """
+        if seconds < 1:
+            raise ValueError("window seconds must be >= 1")
+        seconds = min(int(seconds), len(self._ring))
+        merged: "Dict[str, MetricWindow]" = {}
+        with self._lock:
+            now = int(self._clock())
+            for second in range(now - seconds + 1, now + 1):
+                entry = self._ring[second % len(self._ring)]
+                if entry is None or entry[0] != second:
+                    continue
+                for name, bucket in entry[1].items():
+                    window = merged.get(name)
+                    if window is None:
+                        window = merged[name] = MetricWindow(
+                            name, bucket.kind, float(seconds)
+                        )
+                    window._merge(bucket)
+        return WindowSnapshot(float(seconds), merged)
+
+    def windows(
+        self, seconds: "Sequence[int]" = DEFAULT_WINDOWS
+    ) -> "Dict[int, WindowSnapshot]":
+        """The standard multi-window view: ``{1: ..., 10: ..., 60: ...}``."""
+        return {int(s): self.window(int(s)) for s in seconds}
+
+    def clear(self) -> None:
+        with self._lock:
+            for i in range(len(self._ring)):
+                self._ring[i] = None
+
+
+# ======================================================================
+# Dashboard condensation
+# ======================================================================
+
+#: Latency histograms the dashboard looks for, in preference order:
+#: the serving layer's enqueue-to-answer latency, then the client-side
+#: latency recorded by ``stats --watch``.
+_LATENCY_METRICS = ("serve.latency_ms", "query.latency_ms")
+
+#: Counters summed into the dashboard's "fallback" rate: any answer
+#: that left the fast path (service degradation rungs, out-of-space or
+#: empty-point-query branch-and-bound fallbacks).
+_FALLBACK_METRICS = (
+    "serve.fallback.batch",
+    "serve.fallback.serial",
+    "serve.fallback.scan",
+    "query.fallbacks",
+)
+
+
+def dashboard(ts: TimeSeries, seconds: int = 10) -> "Dict[str, float]":
+    """One window condensed into the operator quantities.
+
+    QPS and percentiles come from the first latency histogram with
+    traffic in the window (``serve.latency_ms``, else
+    ``query.latency_ms``); queue depth is the last gauge value;
+    ``fallback_pct`` is the share of completions that took any fallback
+    path.
+    """
+    snapshot = ts.window(seconds)
+    latency = None
+    for name in _LATENCY_METRICS:
+        candidate = snapshot.get(name)
+        if candidate is not None and candidate.count:
+            latency = candidate
+            break
+    completed = latency.count if latency is not None else 0
+    depth = snapshot.get("serve.queue.depth")
+    fallbacks = sum(snapshot.total(name) for name in _FALLBACK_METRICS)
+    return {
+        "window_s": float(snapshot.seconds),
+        "completed": float(completed),
+        "qps": latency.rate if latency is not None else 0.0,
+        "p50_ms": latency.percentile(50) if latency is not None else 0.0,
+        "p99_ms": latency.percentile(99) if latency is not None else 0.0,
+        "max_ms": (
+            latency.max if latency is not None and completed else 0.0
+        ),
+        "queue_depth": depth.last if depth is not None else 0.0,
+        "fallback_pct": 100.0 * fallbacks / completed if completed else 0.0,
+    }
+
+
+def dashboard_line(ts: TimeSeries, seconds: int = 10) -> str:
+    """The one-line dashboard printed by ``serve --stats-interval``."""
+    d = dashboard(ts, seconds)
+    return (
+        f"[telemetry {int(d['window_s']):>3d}s] "
+        f"qps={d['qps']:8.1f}  "
+        f"p50={d['p50_ms']:7.2f}ms  "
+        f"p99={d['p99_ms']:7.2f}ms  "
+        f"queue={d['queue_depth']:5.0f}  "
+        f"fallback={d['fallback_pct']:5.1f}%"
+    )
+
+
+def telemetry_table(
+    ts: TimeSeries, windows: "Sequence[int]" = DEFAULT_WINDOWS, title: str = "Live telemetry"
+):
+    """The multi-window dashboard as a printable ``ResultTable``.
+
+    Rendered by ``stats --watch`` and ``serve --stats`` shutdown output;
+    the import is lazy so ``repro.obs`` stays dependency-free.
+    """
+    from ..eval.reporting import ResultTable
+
+    table = ResultTable(
+        title,
+        ["window", "qps", "p50_ms", "p99_ms", "max_ms", "queue_depth",
+         "fallback_pct"],
+    )
+    for seconds in windows:
+        d = dashboard(ts, int(seconds))
+        table.add_row(
+            window=f"{int(seconds)}s",
+            qps=d["qps"],
+            p50_ms=d["p50_ms"],
+            p99_ms=d["p99_ms"],
+            max_ms=d["max_ms"],
+            queue_depth=d["queue_depth"],
+            fallback_pct=d["fallback_pct"],
+        )
+    return table

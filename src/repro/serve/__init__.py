@@ -7,7 +7,7 @@ per-request deadlines, and degrades gracefully through a
 batch -> serial -> linear-scan fallback ladder.  See ``docs/serving.md``.
 """
 
-from .config import ServeConfig
+from .config import ServeConfig, TelemetryConfig
 from .errors import (
     DeadlineExceeded,
     ServeError,
@@ -15,6 +15,7 @@ from .errors import (
     ServiceOverloaded,
 )
 from .service import PendingResult, QueryResult, QueryService
+from .telemetry import TelemetrySession
 
 __all__ = [
     "DeadlineExceeded",
@@ -25,4 +26,6 @@ __all__ = [
     "ServeError",
     "ServiceClosed",
     "ServiceOverloaded",
+    "TelemetryConfig",
+    "TelemetrySession",
 ]

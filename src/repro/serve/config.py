@@ -21,8 +21,9 @@ The three knobs mirror the three subsystems of ``QueryService`` (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-__all__ = ["ServeConfig"]
+__all__ = ["ServeConfig", "TelemetryConfig"]
 
 
 @dataclass(frozen=True)
@@ -57,3 +58,50 @@ class ServeConfig:
             raise ValueError("admission must be 'reject' or 'block'")
         if self.default_timeout_ms is not None and self.default_timeout_ms <= 0:
             raise ValueError("default_timeout_ms must be > 0 or None")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What live telemetry a serving process turns on.
+
+    Everything defaults to *off* — the disabled fast path stays one
+    boolean check per event site.  Activated by
+    :class:`~repro.serve.telemetry.TelemetrySession`, which owns the
+    setup/teardown; the CLI maps ``serve --metrics-port /
+    --stats-interval / --events`` onto these fields (``stats --watch``
+    uses the same machinery without a service).
+    """
+
+    #: Bind a Prometheus scrape endpoint on this port (``0`` = ephemeral,
+    #: read the bound port back from the session); ``None`` = no endpoint.
+    metrics_port: "Optional[int]" = None
+    #: Interface the scrape endpoint binds; loopback unless fronted by a
+    #: real proxy.
+    metrics_host: str = "127.0.0.1"
+    #: Print a windowed dashboard line to stderr every N seconds
+    #: (``serve --stats-interval``); ``0`` = never.
+    stats_interval_s: float = 0.0
+    #: Append one JSONL record per sampled lifecycle event to this path;
+    #: ``None`` leaves the event log off.
+    events_path: "Optional[str]" = None
+    #: Event sampling rate in [0, 1] (1 = every lifecycle).
+    events_sample: float = 1.0
+
+    def __post_init__(self):
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ValueError("metrics_port must be in [0, 65535] or None")
+        if self.stats_interval_s < 0.0:
+            raise ValueError("stats_interval_s must be >= 0")
+        if not 0.0 <= self.events_sample <= 1.0:
+            raise ValueError("events_sample must be in [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        """Whether any telemetry surface is requested at all."""
+        return (
+            self.metrics_port is not None
+            or self.stats_interval_s > 0.0
+            or self.events_path is not None
+        )

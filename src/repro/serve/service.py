@@ -45,7 +45,7 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from ..index.linear_scan import LinearScan
-from ..obs import metrics
+from ..obs import events, metrics
 from ..obs.tracing import span
 from .config import ServeConfig
 from .errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded
@@ -373,6 +373,18 @@ class QueryService:
         for request in live:
             if request.result is not None:
                 metrics.observe("serve.latency_ms", request.result.latency_ms)
+        if events.enabled():
+            sources = sorted({r.source for r in results})
+            events.emit(
+                "flush",
+                outcome="ok" if sources == ["batch"] else "degraded",
+                n_requests=len(live),
+                delivered=delivered,
+                expired=expired,
+                pages=pages,
+                sources=sources,
+                duration_ms=1e3 * (done - now),
+            )
 
     # ------------------------------------------------------------------
     # Fallback ladder

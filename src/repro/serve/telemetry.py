@@ -1,0 +1,118 @@
+"""Lifecycle of a serving process's live telemetry.
+
+:class:`TelemetrySession` is the one place that knows how the pieces of
+``repro.obs`` compose into an *operational* surface: it enables the
+metrics registry, installs a :class:`~repro.obs.timeseries.TimeSeries`
+sink behind it, optionally turns on the structured event log with a
+JSONL sink, optionally binds the Prometheus scrape endpoint, and can run
+a periodic stderr dashboard printer — then tears all of it down in
+reverse order.  The CLI's ``serve --metrics-port / --stats-interval /
+--events`` flags and ``stats --watch`` both go through here, so the two
+surfaces can never drift apart.
+
+Usage::
+
+    with TelemetrySession(TelemetryConfig(metrics_port=0)) as session:
+        ...  # serve traffic; scrape http://127.0.0.1:<session.port>/metrics
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import IO, Optional
+
+from ..obs import events, metrics
+from ..obs.promexport import MetricsServer
+from ..obs.timeseries import TimeSeries, dashboard_line
+from .config import TelemetryConfig
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Owns the setup and teardown of one process's live telemetry.
+
+    The session always enables metrics and installs a fresh
+    :class:`TimeSeries` (the windowed dashboards need both); the scrape
+    endpoint, event log and stats printer are opt-in via the
+    :class:`~repro.serve.config.TelemetryConfig` fields.  Idempotent
+    :meth:`close`; usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        config: "TelemetryConfig | None" = None,
+        stream: "Optional[IO[str]]" = None,
+    ):
+        """``stream`` receives the dashboard lines (default: stderr)."""
+        self.config = config or TelemetryConfig()
+        self._stream = stream if stream is not None else sys.stderr
+        self._was_enabled = metrics.enabled()
+        self.timeseries = TimeSeries()
+        self.server: "Optional[MetricsServer]" = None
+        self.event_log: "Optional[events.EventLog]" = None
+        self._stop = threading.Event()
+        self._printer: "Optional[threading.Thread]" = None
+        self._closed = False
+
+        metrics.enable()
+        metrics.install_timeseries(self.timeseries)
+        if self.config.events_path is not None:
+            self.event_log = events.enable(
+                sink=self.config.events_path,
+                sample=self.config.events_sample,
+            )
+        if self.config.metrics_port is not None:
+            self.server = MetricsServer(
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+                timeseries=self.timeseries,
+            ).start()
+        if self.config.stats_interval_s > 0.0:
+            self._printer = threading.Thread(
+                target=self._print_loop,
+                name="repro-telemetry-stats",
+                daemon=True,
+            )
+            self._printer.start()
+
+    @property
+    def port(self) -> "Optional[int]":
+        """The scrape endpoint's bound port (``None`` without one)."""
+        return self.server.port if self.server is not None else None
+
+    def dashboard_line(self, seconds: int = 10) -> str:
+        """The current windowed dashboard line (see ``timeseries``)."""
+        return dashboard_line(self.timeseries, seconds)
+
+    def _print_loop(self) -> None:
+        interval = self.config.stats_interval_s
+        while not self._stop.wait(interval):
+            try:
+                print(self.dashboard_line(), file=self._stream, flush=True)
+            except ValueError:  # stream closed mid-shutdown
+                return
+
+    def close(self) -> None:
+        """Tear down in reverse order of setup.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._printer is not None:
+            self._printer.join()
+        if self.server is not None:
+            self.server.close()
+        if self.event_log is not None:
+            events.disable()
+            self.event_log.close()
+        metrics.uninstall_timeseries()
+        if not self._was_enabled:
+            metrics.disable()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -7,6 +7,10 @@ import pytest
 from repro.obs import tracing
 from repro.obs.export import (
     PROFILE_FORMAT_VERSION,
+    ProfileDecodeError,
+    ProfileError,
+    ProfileSchemaError,
+    ProfileVersionError,
     load_profile,
     metrics_to_csv,
     metrics_to_dict,
@@ -121,6 +125,51 @@ class TestProfileDocument:
         path = tmp_path / "other.json"
         path.write_text(json.dumps({"something": "else"}))
         with pytest.raises(ValueError):
+            load_profile(path)
+
+
+class TestProfileTypedErrors:
+    """load_profile distinguishes *why* a document is unreadable."""
+
+    def test_malformed_json_is_decode_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileDecodeError, match="not valid JSON"):
+            load_profile(path)
+
+    def test_non_object_json_is_decode_error(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ProfileDecodeError, match="not a JSON object"):
+            load_profile(path)
+
+    def test_wrong_format_version_is_version_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(
+            {"format_version": 999, "metrics": {}, "trace": []}
+        ))
+        with pytest.raises(ProfileVersionError, match="999"):
+            load_profile(path)
+
+    def test_missing_keys_is_schema_error(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(
+            {"format_version": PROFILE_FORMAT_VERSION, "metrics": {}}
+        ))
+        with pytest.raises(ProfileSchemaError, match="trace"):
+            load_profile(path)
+
+    def test_every_failure_is_catchable_as_profile_error(self, tmp_path):
+        """One except clause covers the whole hierarchy (and stays
+        compatible with pre-existing ``except ValueError`` callers)."""
+        assert issubclass(ProfileError, ValueError)
+        for cls in (
+            ProfileDecodeError, ProfileVersionError, ProfileSchemaError,
+        ):
+            assert issubclass(cls, ProfileError)
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(ProfileError):
             load_profile(path)
 
 

@@ -16,12 +16,14 @@ from repro.obs.metrics import (
 
 @pytest.fixture(autouse=True)
 def clean_global_state():
-    """Every test starts disabled with an empty process-wide registry."""
+    """Every test starts disabled, empty, and without a time-series sink."""
     metrics.disable()
     metrics.get_registry().reset()
+    metrics.uninstall_timeseries()
     yield
     metrics.disable()
     metrics.get_registry().reset()
+    metrics.uninstall_timeseries()
 
 
 class TestCounter:
@@ -79,6 +81,34 @@ class TestHistogram:
             h.observe(1.0)
         assert h.count == HISTOGRAM_SAMPLE_CAP + 10
         assert len(h._samples) == HISTOGRAM_SAMPLE_CAP
+
+    def test_reservoir_admits_late_observations(self, monkeypatch):
+        """Past the cap, percentiles must keep tracking the stream
+        instead of freezing on the first-N warm-up values (the old
+        first-come-first-kept bias)."""
+        monkeypatch.setattr(metrics, "HISTOGRAM_SAMPLE_CAP", 64)
+        h = Histogram("x")
+        for __ in range(64):
+            h.observe(1.0)  # warm-up plateau fills the reservoir
+        for __ in range(64 * 20):
+            h.observe(100.0)  # the steady state the sample must reflect
+        late = sum(1 for v in h._samples if v == 100.0)
+        # ~95% of the stream is late values; a uniform reservoir keeps a
+        # clear majority of them (first-N-kept would hold zero).
+        assert late > 32
+        assert h.percentile(50) == 100.0
+        # Exact aggregates are unaffected by sampling.
+        assert h.count == 64 * 21
+        assert h.min == 1.0 and h.max == 100.0
+        assert h.total == 64 * 1.0 + 64 * 20 * 100.0
+
+    def test_reservoir_is_deterministic_per_name(self, monkeypatch):
+        monkeypatch.setattr(metrics, "HISTOGRAM_SAMPLE_CAP", 16)
+        a, b = Histogram("same"), Histogram("same")
+        for i in range(500):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a._samples == b._samples
 
 
 class TestRegistry:
@@ -192,3 +222,39 @@ class TestModuleFastPath:
         # Generous bound: one extra boolean check should never cost more
         # than 20x an empty call even on noisy CI machines.
         assert instrumented < base * 20
+
+
+class TestTimeseriesSink:
+    def test_enabled_events_mirror_into_installed_sink(self):
+        from repro.obs.timeseries import TimeSeries
+
+        ts = metrics.install_timeseries(TimeSeries())
+        assert metrics.get_timeseries() is ts
+        metrics.enable()
+        metrics.inc("serve.rejected", 2)
+        metrics.observe("serve.latency_ms", 5.0)
+        metrics.set_gauge("serve.queue.depth", 3)
+        window = ts.window(10)
+        assert window.total("serve.rejected") == 2.0
+        assert window.get("serve.latency_ms").count == 1
+        assert window.get("serve.queue.depth").last == 3.0
+        # The registry recorded the same events.
+        assert metrics.snapshot()["serve.rejected"] == 2.0
+
+    def test_disabled_events_never_reach_sink(self):
+        from repro.obs.timeseries import TimeSeries
+
+        ts = metrics.install_timeseries(TimeSeries())
+        metrics.inc("serve.rejected")
+        metrics.observe("serve.latency_ms", 5.0)
+        assert ts.window(10).names() == []
+
+    def test_uninstall_stops_mirroring(self):
+        from repro.obs.timeseries import TimeSeries
+
+        ts = metrics.install_timeseries(TimeSeries())
+        metrics.enable()
+        metrics.uninstall_timeseries()
+        assert metrics.get_timeseries() is None
+        metrics.inc("serve.rejected")
+        assert ts.window(10).names() == []

@@ -1,0 +1,129 @@
+"""Prometheus exposition: rendering, strict parsing, scrape endpoint."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    CONTENT_TYPE,
+    MetricsServer,
+    metric_name,
+    parse_exposition,
+    render_prometheus,
+)
+from repro.obs.timeseries import DEFAULT_WINDOWS, TimeSeries
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("serve.rejected", 3)
+    reg.set_gauge("serve.queue.depth", 7)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        reg.observe("serve.latency_ms", v)
+    return reg
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("serve.latency_ms") == "serve_latency_ms"
+
+    def test_invalid_chars_sanitised(self):
+        assert metric_name("a-b c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("9lives") == "_9lives"
+
+
+class TestRender:
+    def test_counter_exposed_with_total_suffix(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE serve_rejected_total counter" in text
+        assert "serve_rejected_total 3" in text
+
+    def test_gauge_keeps_name(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 7" in text
+
+    def test_histogram_as_summary_with_min_max(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE serve_latency_ms summary" in text
+        assert 'serve_latency_ms{quantile="0.5"}' in text
+        assert "serve_latency_ms_sum 10" in text
+        assert "serve_latency_ms_count 4" in text
+        assert "serve_latency_ms_min 1" in text
+        assert "serve_latency_ms_max 4" in text
+
+    def test_round_trip_through_parser(self, registry):
+        samples = parse_exposition(render_prometheus(registry))
+        assert samples["serve_rejected_total"] == 3.0
+        assert samples['serve_latency_ms{quantile="0.5"}'] == 2.5
+        assert samples["serve_latency_ms_count"] == 4.0
+
+
+class TestParse:
+    def test_comments_and_blanks_skipped(self):
+        assert parse_exposition("# HELP x\n\nx 1\n") == {"x": 1.0}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_exposition("not a metric line at all!\n")
+
+    def test_non_numeric_value_raises(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_exposition("x abc\n")
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestMetricsServer:
+    def test_scrape_on_ephemeral_port(self, registry):
+        with MetricsServer(registry=registry) as server:
+            assert server.port > 0
+            status, headers, body = _get(server.url)
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        samples = parse_exposition(body)
+        assert samples["serve_rejected_total"] == 3.0
+
+    def test_telemetry_endpoint_serves_windows(self, registry):
+        ts = TimeSeries()
+        ts.observe("serve.latency_ms", 5.0)
+        with MetricsServer(registry=registry, timeseries=ts) as server:
+            __, __, body = _get(
+                f"http://{server.host}:{server.port}/telemetry"
+            )
+        document = json.loads(body)
+        assert sorted(document["windows"]) == sorted(
+            str(s) for s in DEFAULT_WINDOWS
+        )
+        one_second = document["windows"]["1"]["serve.latency_ms"]
+        assert one_second["count"] == 1
+
+    def test_telemetry_without_timeseries_is_empty(self, registry):
+        with MetricsServer(registry=registry) as server:
+            __, __, body = _get(
+                f"http://{server.host}:{server.port}/telemetry"
+            )
+        assert json.loads(body) == {"windows": {}}
+
+    def test_healthz_and_404(self, registry):
+        with MetricsServer(registry=registry) as server:
+            status, __, body = _get(
+                f"http://{server.host}:{server.port}/healthz"
+            )
+            assert (status, body) == (200, "ok\n")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{server.host}:{server.port}/nope")
+            assert err.value.code == 404
+
+    def test_close_is_idempotent(self, registry):
+        server = MetricsServer(registry=registry).start()
+        server.close()
+        server.close()

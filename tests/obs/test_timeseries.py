@@ -1,0 +1,213 @@
+"""Sliding-window time-series: ring reuse, windows, rates, dashboards."""
+
+import threading
+
+import pytest
+
+from repro.obs.timeseries import (
+    BUCKET_SAMPLE_CAP,
+    DEFAULT_HORIZON_SECONDS,
+    DEFAULT_WINDOWS,
+    TimeSeries,
+    dashboard,
+    dashboard_line,
+    telemetry_table,
+)
+
+
+class FakeClock:
+    """A settable monotonic clock so tests control bucket boundaries."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float = 1.0) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def ts(clock):
+    return TimeSeries(clock=clock)
+
+
+class TestConstruction:
+    def test_horizon_must_cover_largest_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries(horizon_seconds=max(DEFAULT_WINDOWS) - 1)
+
+    def test_sample_cap_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries(sample_cap=0)
+
+    def test_defaults(self, ts):
+        assert ts.tracks("serve.latency_ms")
+        assert ts.tracks("query.candidates")
+        assert not ts.tracks("lp.solves")
+        assert not ts.tracks("build.chunk_points")
+
+
+class TestRecording:
+    def test_untracked_names_are_dropped(self, ts):
+        ts.add("lp.solves", 5)
+        ts.observe("storage.reads", 1.0)
+        ts.set_gauge("build.height", 3)
+        assert ts.window(10).names() == []
+
+    def test_counter_window_totals(self, ts, clock):
+        ts.add("serve.rejected", 2)
+        clock.tick()
+        ts.add("serve.rejected", 3)
+        window = ts.window(10).get("serve.rejected")
+        assert window.total == 5.0
+        assert window.count == 2
+        assert window.rate == pytest.approx(0.5)  # amount / window seconds
+
+    def test_histogram_window_percentiles(self, ts):
+        for v in range(1, 101):
+            ts.observe("query.latency_ms", float(v))
+        window = ts.window(1).get("query.latency_ms")
+        assert window.count == 100
+        assert window.min == 1.0 and window.max == 100.0
+        assert window.percentile(50) == pytest.approx(50.5)
+        # Histogram rate counts observations per second.
+        assert window.rate == pytest.approx(100.0)
+
+    def test_gauge_keeps_last_and_extremes(self, ts, clock):
+        ts.set_gauge("serve.queue.depth", 7)
+        clock.tick()
+        ts.set_gauge("serve.queue.depth", 2)
+        window = ts.window(10).get("serve.queue.depth")
+        assert window.last == 2.0
+        assert window.max == 7.0
+        assert window.rate == 0.0
+
+    def test_window_excludes_older_buckets(self, ts, clock):
+        ts.observe("serve.latency_ms", 100.0)
+        clock.tick(30)
+        ts.observe("serve.latency_ms", 1.0)
+        assert ts.window(10).get("serve.latency_ms").count == 1
+        assert ts.window(60).get("serve.latency_ms").count == 2
+
+    def test_ring_slot_reuse_after_horizon(self, ts, clock):
+        """A second that wraps the ring evicts the slot's old bucket."""
+        ts.add("serve.rejected", 1)
+        clock.tick(DEFAULT_HORIZON_SECONDS)  # same slot, different second
+        ts.add("serve.rejected", 1)
+        window = ts.window(DEFAULT_HORIZON_SECONDS)
+        assert window.get("serve.rejected").total == 1.0
+
+    def test_window_clamps_to_horizon(self, ts):
+        ts.add("serve.rejected")
+        snapshot = ts.window(10 * DEFAULT_HORIZON_SECONDS)
+        assert snapshot.seconds == float(DEFAULT_HORIZON_SECONDS)
+
+    def test_window_seconds_validated(self, ts):
+        with pytest.raises(ValueError):
+            ts.window(0)
+
+    def test_bucket_reservoir_caps_samples(self, clock):
+        ts = TimeSeries(sample_cap=8, clock=clock)
+        for v in range(100):
+            ts.observe("serve.latency_ms", float(v))
+        window = ts.window(1).get("serve.latency_ms")
+        assert len(window._samples) == 8
+        assert window.count == 100  # aggregates stay exact
+        assert window.total == sum(range(100))
+
+    def test_clear_empties_every_bucket(self, ts):
+        ts.add("serve.rejected")
+        ts.clear()
+        assert ts.window(60).names() == []
+
+    def test_windows_returns_standard_view(self, ts):
+        ts.observe("serve.latency_ms", 5.0)
+        views = ts.windows()
+        assert sorted(views) == sorted(DEFAULT_WINDOWS)
+        assert views[1].get("serve.latency_ms").count == 1
+
+    def test_thread_safety_under_contention(self, ts):
+        n_threads, n_events = 8, 500
+
+        def worker():
+            for i in range(n_events):
+                ts.add("serve.rejected")
+                ts.observe("serve.latency_ms", float(i))
+
+        threads = [threading.Thread(target=worker) for __ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        window = ts.window(1)
+        assert window.get("serve.rejected").total == n_threads * n_events
+        assert window.get("serve.latency_ms").count == n_threads * n_events
+        assert len(window.get("serve.latency_ms")._samples) <= (
+            BUCKET_SAMPLE_CAP
+        )
+
+
+class TestDashboard:
+    def test_empty_dashboard_is_all_zero(self, ts):
+        d = dashboard(ts)
+        assert d["qps"] == 0.0
+        assert d["p50_ms"] == 0.0
+        assert d["completed"] == 0.0
+        assert d["fallback_pct"] == 0.0
+
+    def test_prefers_serve_latency(self, ts):
+        ts.observe("serve.latency_ms", 10.0)
+        ts.observe("query.latency_ms", 99.0)
+        assert dashboard(ts)["p50_ms"] == 10.0
+
+    def test_falls_back_to_query_latency(self, ts):
+        ts.observe("query.latency_ms", 42.0)
+        d = dashboard(ts, seconds=10)
+        assert d["p50_ms"] == 42.0
+        assert d["qps"] == pytest.approx(0.1)
+
+    def test_fallback_share_sums_all_rungs(self, ts):
+        for __ in range(8):
+            ts.observe("serve.latency_ms", 1.0)
+        ts.add("serve.fallback.serial", 1)
+        ts.add("query.fallbacks", 1)
+        assert dashboard(ts)["fallback_pct"] == pytest.approx(25.0)
+
+    def test_queue_depth_is_last_gauge_value(self, ts):
+        ts.set_gauge("serve.queue.depth", 9)
+        ts.set_gauge("serve.queue.depth", 4)
+        assert dashboard(ts)["queue_depth"] == 4.0
+
+    def test_dashboard_line_renders(self, ts):
+        ts.observe("serve.latency_ms", 3.0)
+        line = dashboard_line(ts)
+        assert line.startswith("[telemetry")
+        assert "qps=" in line and "p99=" in line and "fallback=" in line
+
+    def test_telemetry_table_has_one_row_per_window(self, ts):
+        ts.observe("serve.latency_ms", 3.0)
+        rendered = telemetry_table(ts).render()
+        assert "Live telemetry" in rendered
+        for seconds in DEFAULT_WINDOWS:
+            assert f"{seconds}s" in rendered
+
+
+class TestWindowSnapshot:
+    def test_summary_shape(self, ts):
+        ts.observe("serve.latency_ms", 2.0)
+        ts.add("serve.rejected", 1)
+        doc = ts.window(10).as_dict()
+        assert doc["serve.latency_ms"]["p99"] == 2.0
+        assert doc["serve.rejected"]["sum"] == 1.0
+
+    def test_total_and_count_defaults(self, ts):
+        snapshot = ts.window(10)
+        assert snapshot.total("serve.none", default=-1.0) == -1.0
+        assert snapshot.count("serve.none", default=-2) == -2

@@ -331,6 +331,187 @@ class TestServeCommand:
         assert "submitted" in stderr
 
 
+class TestExplainCommand:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        return out
+
+    def test_text_output_names_path_and_answer(self, index_path, capsys):
+        code, stdout, __ = run(
+            capsys, "explain", str(index_path), "--point", "0.5,0.5,0.5",
+        )
+        assert code == 0
+        assert "path:" in stdout
+        assert "<- answer" in stdout
+        assert "nodes_visited" in stdout or "nodes visited" in stdout
+
+    def test_json_output_matches_query(self, index_path, capsys):
+        import json
+
+        code, stdout, __ = run(
+            capsys, "explain", str(index_path), "--point", "0.5,0.5,0.5",
+            "--json",
+        )
+        assert code == 0
+        doc = json.loads(stdout)
+        assert doc["path"] in ("cell", "cell_retry")
+        assert doc["n_candidates"] >= 1
+
+        code, stdout, __ = run(
+            capsys, "query", str(index_path), "--point", "0.5,0.5,0.5",
+        )
+        assert code == 0
+        assert f"point {doc['nearest_id']}" in stdout
+
+    def test_outside_data_space_explained(self, index_path, capsys):
+        import json
+
+        code, stdout, __ = run(
+            capsys, "explain", str(index_path), "--point", "9,9,9",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(stdout)["path"] == "outside_data_space"
+
+    def test_wrong_dimension_is_an_error(self, index_path, capsys):
+        code, __, stderr = run(
+            capsys, "explain", str(index_path), "--point", "0.5",
+        )
+        assert code == 1
+        assert "error" in stderr
+
+
+class TestServeTelemetry:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        return out
+
+    def serve(self, monkeypatch, capsys, index_path, stdin_text, *flags):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code, stdout, stderr = run(capsys, "serve", str(index_path), *flags)
+        responses = [json.loads(line) for line in stdout.splitlines()]
+        return code, responses, stderr
+
+    def test_explain_echo_on_request(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            '{"point": [0.5, 0.5, 0.5], "explain": true}\n'
+            "[0.4, 0.4, 0.4]\n",
+        )
+        assert code == 0
+        assert responses[0]["ok"]
+        explain = responses[0]["explain"]
+        assert explain["nearest_id"] == responses[0]["point_id"]
+        assert explain["path"] in ("cell", "cell_retry")
+        # Requests that did not opt in carry no explain payload.
+        assert "explain" not in responses[1]
+
+    def test_metrics_port_announced_and_stats_table(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, stderr = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.2, 0.2, 0.2]\n",
+            "--metrics-port", "0", "--stats",
+        )
+        assert code == 0
+        assert responses[0]["ok"]
+        assert "metrics endpoint: http://127.0.0.1:" in stderr
+        assert "Live telemetry" in stderr
+
+    def test_events_flag_writes_jsonl(
+        self, monkeypatch, capsys, index_path, tmp_path
+    ):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.3, 0.3, 0.3]\n",
+            "--events", str(events_path),
+        )
+        assert code == 0
+        assert responses[0]["ok"]
+        records = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        assert any(r["kind"] == "flush" for r in records)
+
+    def test_events_dir_must_exist(
+        self, monkeypatch, capsys, index_path, tmp_path
+    ):
+        code, __, stderr = self.serve(
+            monkeypatch, capsys, index_path, "",
+            "--events", str(tmp_path / "missing" / "ev.jsonl"),
+        )
+        assert code == 1
+        assert "error" in stderr
+
+    def test_telemetry_torn_down_after_serve(
+        self, monkeypatch, capsys, index_path
+    ):
+        from repro.obs import events as obs_events
+        from repro.obs import metrics as obs_metrics
+
+        code, __, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.1, 0.1, 0.1]\n", "--metrics-port", "0",
+        )
+        assert code == 0
+        assert not obs_metrics.enabled()
+        assert obs_metrics.get_timeseries() is None
+        assert not obs_events.enabled()
+
+
+class TestStatsWatch:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "25",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        return out
+
+    def test_watch_renders_live_table(self, index_path, capsys):
+        code, stdout, __ = run(
+            capsys, "stats", str(index_path), "--watch",
+            "--interval", "0.2", "--duration", "0.5",
+        )
+        assert code == 0
+        assert "Live telemetry" in stdout
+        assert "queries)" in stdout  # final table is count-titled
+        for window in ("1s", "10s", "60s"):
+            assert window in stdout
+
+    def test_watch_rejects_bad_interval(self, index_path, capsys):
+        code, __, stderr = run(
+            capsys, "stats", str(index_path), "--watch",
+            "--interval", "0", "--duration", "0.2",
+        )
+        assert code == 1
+        assert "interval" in stderr
+
+
 class TestExperimentCommand:
     def test_figure2_runs(self, capsys):
         code, stdout, __ = run(

@@ -1,11 +1,13 @@
 """Tests for the standalone CI tools in ``tools/``.
 
 ``tools/compare_archives.py`` backs the ``parallel-parity`` workflow
-job; its comparison logic is unit-tested here so the CI contract is
+job and ``tools/compare_bench.py`` backs the perf-trajectory gate; the
+comparison logic of both is unit-tested here so the CI contracts are
 exercised by the suite, not only on a runner.
 """
 
 import importlib.util
+import json
 from pathlib import Path
 
 import numpy as np
@@ -14,14 +16,23 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-@pytest.fixture(scope="module")
-def tool():
+def _load_tool(name):
     spec = importlib.util.spec_from_file_location(
-        "compare_archives", REPO_ROOT / "tools" / "compare_archives.py"
+        name, REPO_ROOT / "tools" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return _load_tool("compare_archives")
+
+
+@pytest.fixture(scope="module")
+def bench_tool():
+    return _load_tool("compare_bench")
 
 
 def save(path, **arrays):
@@ -91,3 +102,146 @@ class TestMain:
         a = save(tmp_path / "a.npz", x=np.arange(2))
         assert tool.main([str(a), str(tmp_path / "nope.npz")]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+def make_bench(path, **metrics):
+    document = {"bench": "obs_overhead", "format_version": 1,
+                "metrics": metrics}
+    Path(path).write_text(json.dumps(document))
+    return path
+
+
+class TestCompareBench:
+    def test_direction_from_suffix(self, bench_tool):
+        assert bench_tool.metric_direction("serve_wall_qps") == "higher"
+        assert bench_tool.metric_direction("serve_p99_ms") == "lower"
+        assert bench_tool.metric_direction("query_pages") == "lower"
+        assert bench_tool.metric_direction("build_seconds") == "lower"
+        assert bench_tool.metric_direction("overhead_pct") is None
+        assert bench_tool.metric_direction("qps_disabled") is None
+
+    def test_identical_documents_are_ok(self, bench_tool, tmp_path):
+        doc = bench_tool.load_bench(
+            make_bench(tmp_path / "a.json", x_qps=100.0, y_ms=2.0)
+        )
+        rows, regressions = bench_tool.compare_bench(doc, doc)
+        assert regressions == []
+        assert {r["verdict"] for r in rows} == {"ok"}
+
+    def test_qps_drop_and_latency_rise_regress(self, bench_tool, tmp_path):
+        base = bench_tool.load_bench(
+            make_bench(tmp_path / "a.json", x_qps=100.0, y_ms=2.0)
+        )
+        cur = bench_tool.load_bench(
+            make_bench(tmp_path / "b.json", x_qps=80.0, y_ms=2.5)
+        )
+        rows, regressions = bench_tool.compare_bench(base, cur)
+        assert len(regressions) == 2
+        verdicts = {r["name"]: r["verdict"] for r in rows}
+        assert verdicts == {"x_qps": "regressed", "y_ms": "regressed"}
+
+    def test_improvements_and_threshold(self, bench_tool, tmp_path):
+        base = bench_tool.load_bench(
+            make_bench(tmp_path / "a.json", x_qps=100.0, y_ms=2.0)
+        )
+        cur = bench_tool.load_bench(
+            make_bench(tmp_path / "b.json", x_qps=150.0, y_ms=1.84)
+        )
+        rows, regressions = bench_tool.compare_bench(base, cur)
+        assert regressions == []
+        verdicts = {r["name"]: r["verdict"] for r in rows}
+        assert verdicts["x_qps"] == "improved"
+        assert verdicts["y_ms"] == "ok"  # -8% is within the 10% band
+        # A tighter threshold flips the qps drop into a regression.
+        __, regressions = bench_tool.compare_bench(
+            cur, base, threshold=0.05
+        )
+        assert any("x_qps" in line for line in regressions)
+
+    def test_pct_and_unknown_suffixes_never_gate(self, bench_tool, tmp_path):
+        base = bench_tool.load_bench(
+            make_bench(tmp_path / "a.json", overhead_pct=1.0, weird=5.0)
+        )
+        cur = bench_tool.load_bench(
+            make_bench(tmp_path / "b.json", overhead_pct=3.0, weird=50.0)
+        )
+        rows, regressions = bench_tool.compare_bench(base, cur)
+        assert regressions == []
+        assert {r["verdict"] for r in rows} == {"info"}
+
+    def test_missing_metrics_reported_not_gated(self, bench_tool, tmp_path):
+        base = bench_tool.load_bench(
+            make_bench(tmp_path / "a.json", x_qps=100.0, gone_ms=1.0)
+        )
+        cur = bench_tool.load_bench(
+            make_bench(tmp_path / "b.json", x_qps=100.0, new_ms=1.0)
+        )
+        rows, regressions = bench_tool.compare_bench(base, cur)
+        assert regressions == []
+        verdicts = {r["name"]: r["verdict"] for r in rows}
+        assert verdicts["gone_ms"] == "missing"
+        assert verdicts["new_ms"] == "missing"
+
+    def test_zero_baseline_is_informational(self, bench_tool, tmp_path):
+        base = bench_tool.load_bench(
+            make_bench(tmp_path / "a.json", x_qps=0.0)
+        )
+        cur = bench_tool.load_bench(
+            make_bench(tmp_path / "b.json", x_qps=10.0)
+        )
+        rows, regressions = bench_tool.compare_bench(base, cur)
+        assert regressions == []
+        assert rows[0]["verdict"] == "info"
+
+    def test_load_bench_rejects_malformed(self, bench_tool, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            bench_tool.load_bench(bad)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"no": "metrics"}))
+        with pytest.raises(ValueError, match="metrics"):
+            bench_tool.load_bench(foreign)
+
+    def test_negative_threshold_rejected(self, bench_tool, tmp_path):
+        doc = bench_tool.load_bench(make_bench(tmp_path / "a.json", x_qps=1.0))
+        with pytest.raises(ValueError):
+            bench_tool.compare_bench(doc, doc, threshold=-0.1)
+
+
+class TestCompareBenchMain:
+    def test_exit_zero_on_parity(self, bench_tool, tmp_path, capsys):
+        a = make_bench(tmp_path / "a.json", x_qps=100.0)
+        b = make_bench(tmp_path / "b.json", x_qps=99.0)
+        assert bench_tool.main([str(a), str(b)]) == 0
+        assert "bench OK" in capsys.readouterr().out
+
+    def test_exit_one_lists_regressions(self, bench_tool, tmp_path, capsys):
+        a = make_bench(tmp_path / "a.json", x_qps=100.0, y_ms=1.0)
+        b = make_bench(tmp_path / "b.json", x_qps=50.0, y_ms=1.0)
+        assert bench_tool.main([str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "1 regression(s)" in out
+        assert "x_qps" in out
+
+    def test_threshold_flag(self, bench_tool, tmp_path, capsys):
+        a = make_bench(tmp_path / "a.json", x_qps=100.0)
+        b = make_bench(tmp_path / "b.json", x_qps=92.0)
+        assert bench_tool.main(
+            [str(a), str(b), "--threshold", "0.05"]
+        ) == 1
+        capsys.readouterr()
+        assert bench_tool.main(
+            ["--threshold", "0.2", str(a), str(b)]
+        ) == 0
+
+    def test_usage_and_load_errors_exit_two(
+        self, bench_tool, tmp_path, capsys
+    ):
+        assert bench_tool.main(["only-one.json"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert bench_tool.main(["a.json", "b.json", "--threshold"]) == 2
+        assert "--threshold" in capsys.readouterr().err
+        a = make_bench(tmp_path / "a.json", x_qps=1.0)
+        assert bench_tool.main([str(a), str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err

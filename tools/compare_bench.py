@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` documents; fail on a >10% regression.
+
+The perf-trajectory contract: every tracked benchmark writes a root
+level ``BENCH_<name>.json`` with a flat ``"metrics"`` mapping, and CI
+(or a reviewer) runs::
+
+    python tools/compare_bench.py BENCH_obs.baseline.json BENCH_obs.json
+
+exit 0  — no tracked metric regressed beyond the threshold;
+exit 1  — at least one did (each is listed);
+exit 2  — usage error or unreadable/invalid document.
+
+Regression direction is derived from the metric name's suffix:
+``*_qps`` is higher-is-better; ``*_ms``, ``*_pages`` and ``*_seconds``
+are lower-is-better.  Everything else — including ``*_pct`` shares,
+whose *relative* change is noise when the base is small — is reported
+for context but never gates.  ``--threshold 0.10`` (the default) means
+a metric may move 10% in the bad direction before the tool fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_THRESHOLD = 0.10
+
+_HIGHER_IS_BETTER = ("_qps",)
+_LOWER_IS_BETTER = ("_ms", "_pages", "_seconds")
+
+
+def metric_direction(name: str) -> "Optional[str]":
+    """``"higher"`` / ``"lower"`` when the suffix implies a direction."""
+    if name.endswith(_HIGHER_IS_BETTER):
+        return "higher"
+    if name.endswith(_LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def load_bench(path: "str | Path") -> "Dict[str, object]":
+    """Read one BENCH document; raises ``ValueError`` when malformed."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path} is not valid JSON: {err}") from err
+    if not isinstance(document, dict) or not isinstance(
+        document.get("metrics"), dict
+    ):
+        raise ValueError(
+            f"{path} is not a BENCH document (no 'metrics' mapping)"
+        )
+    return document
+
+
+def compare_bench(
+    baseline: "Dict[str, object]",
+    current: "Dict[str, object]",
+    threshold: float = DEFAULT_THRESHOLD,
+) -> "Tuple[List[dict], List[str]]":
+    """``(rows, regressions)`` for two loaded BENCH documents.
+
+    ``rows`` has one entry per metric in either document — name,
+    baseline, current, relative change and a verdict (``ok`` /
+    ``improved`` / ``regressed`` / ``info`` / ``missing``).
+    ``regressions`` is the human-readable subset that should fail a
+    gate.
+    """
+    if threshold < 0.0:
+        raise ValueError("threshold must be >= 0")
+    base_metrics: "Dict[str, float]" = baseline["metrics"]  # type: ignore
+    cur_metrics: "Dict[str, float]" = current["metrics"]  # type: ignore
+    rows: "List[dict]" = []
+    regressions: "List[str]" = []
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        row = {
+            "name": name,
+            "baseline": base_metrics.get(name),
+            "current": cur_metrics.get(name),
+            "change": None,
+            "verdict": "info",
+        }
+        rows.append(row)
+        if name not in base_metrics or name not in cur_metrics:
+            row["verdict"] = "missing"
+            continue
+        base = float(base_metrics[name])
+        cur = float(cur_metrics[name])
+        direction = metric_direction(name)
+        if direction is None or base == 0.0:
+            continue
+        change = (cur - base) / abs(base)
+        row["change"] = change
+        worse = -change if direction == "higher" else change
+        if worse > threshold:
+            row["verdict"] = "regressed"
+            regressions.append(
+                f"{name}: {base:g} -> {cur:g} ({change:+.1%};"
+                f" {direction} is better, threshold {threshold:.0%})"
+            )
+        elif worse < -threshold:
+            row["verdict"] = "improved"
+        else:
+            row["verdict"] = "ok"
+    return rows, regressions
+
+
+def _render(rows: "List[dict]") -> str:
+    lines = [f"{'metric':<28} {'baseline':>14} {'current':>14} "
+             f"{'change':>8}  verdict"]
+    for row in rows:
+        base = "-" if row["baseline"] is None else f"{row['baseline']:g}"
+        cur = "-" if row["current"] is None else f"{row['current']:g}"
+        change = (
+            "-" if row["change"] is None else f"{row['change']:+.1%}"
+        )
+        lines.append(
+            f"{row['name']:<28} {base:>14} {cur:>14} "
+            f"{change:>8}  {row['verdict']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    threshold = DEFAULT_THRESHOLD
+    if "--threshold" in args:
+        at = args.index("--threshold")
+        try:
+            threshold = float(args[at + 1])
+        except (IndexError, ValueError):
+            print("error: --threshold expects a number", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if len(args) != 2:
+        print(
+            "usage: compare_bench.py BASELINE.json CURRENT.json"
+            " [--threshold FRACTION]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_bench(args[0])
+        current = load_bench(args[1])
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    rows, regressions = compare_bench(baseline, current, threshold)
+    print(_render(rows))
+    if regressions:
+        print()
+        print(f"{len(regressions)} regression(s) beyond {threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nbench OK: no regression beyond {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Live-telemetry smoke test, run by CI's ``telemetry-smoke`` job.
+
+End-to-end sanity of the telemetry surfaces on a real serving process:
+
+1. build a tiny index and launch ``python -m repro serve idx.npz
+   --metrics-port 0`` as a subprocess, reading the bound port back from
+   the ``metrics endpoint: http://127.0.0.1:<port>/metrics`` stderr
+   announcement;
+2. submit one plain request and one ``"explain": true`` request over
+   the JSONL protocol;
+3. scrape ``/metrics`` mid-flight, validate the body with the strict
+   exposition parser, and assert the serving latency histogram counted
+   both requests;
+4. fetch ``/telemetry`` and assert the standard windows carry the
+   traffic; fetch ``/healthz``;
+5. close stdin, read both responses in input order, and assert the
+   explain echo agrees with the served answer.
+
+Exits non-zero with a message on any violation.  Also runnable
+locally::
+
+    PYTHONPATH=src python tools/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.obs.promexport import parse_exposition  # noqa: E402
+from repro.obs.timeseries import DEFAULT_WINDOWS  # noqa: E402
+
+_ENDPOINT = re.compile(
+    r"metrics endpoint: (http://127\.0\.0\.1:\d+)/metrics"
+)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"telemetry smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def build_index(workdir: Path) -> Path:
+    index = workdir / "idx.npz"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "build", "--dataset", "uniform",
+         "--n", "40", "--dim", "3", "--out", str(index)],
+        check=True, env=_env(), capture_output=True,
+    )
+    return index
+
+
+def _env() -> "dict[str, str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="telemetry-smoke-"))
+    index = build_index(workdir)
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(index),
+         "--metrics-port", "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    # Drain stderr on a thread: the endpoint announcement arrives
+    # before any response, and an unread pipe would deadlock shutdown.
+    stderr_lines: "list[str]" = []
+    announced = threading.Event()
+
+    def read_stderr() -> None:
+        for line in proc.stderr:
+            stderr_lines.append(line)
+            if _ENDPOINT.search(line):
+                announced.set()
+        announced.set()  # EOF: stop waiters even on startup failure
+
+    reader = threading.Thread(target=read_stderr, daemon=True)
+    reader.start()
+
+    try:
+        check(announced.wait(timeout=30.0), "no metrics endpoint announced")
+        match = next(
+            (m for line in stderr_lines for m in [_ENDPOINT.search(line)]
+             if m),
+            None,
+        )
+        check(match is not None,
+              f"endpoint line not found in stderr: {stderr_lines}")
+        base_url = match.group(1)
+        print(f"serve up, scrape endpoint at {base_url}/metrics")
+
+        # --- submit traffic: one plain + one explain request ----------
+        # Responses stream in input order once decided (and at the
+        # latest on stdin EOF); the service itself answers within
+        # max_wait_ms, so the scrape below sees the traffic while the
+        # process is still serving.
+        proc.stdin.write('[0.5, 0.5, 0.5]\n')
+        proc.stdin.write(
+            '{"point": [0.25, 0.5, 0.75], "explain": true}\n'
+        )
+        proc.stdin.flush()
+
+        # --- /metrics through the strict parser -----------------------
+        deadline = time.monotonic() + 30.0
+        samples: "dict[str, float]" = {}
+        while time.monotonic() < deadline:
+            with urllib.request.urlopen(
+                f"{base_url}/metrics", timeout=10
+            ) as response:
+                body = response.read().decode()
+            samples = parse_exposition(body)  # raises on malformed lines
+            if samples.get("serve_latency_ms_count", 0.0) >= 2.0:
+                break
+            time.sleep(0.1)
+        check("serve_latency_ms_count" in samples,
+              f"serve_latency_ms missing from scrape: {sorted(samples)[:8]}")
+        check(samples["serve_latency_ms_count"] >= 2.0,
+              f"latency count {samples['serve_latency_ms_count']} < 2")
+        print(f"scrape OK: {len(samples)} samples, "
+              f"serve_latency_ms_count={samples['serve_latency_ms_count']:g}")
+
+        # --- /telemetry windows + /healthz ----------------------------
+        with urllib.request.urlopen(
+            f"{base_url}/telemetry", timeout=10
+        ) as response:
+            document = json.loads(response.read().decode())
+        check(sorted(document["windows"]) == sorted(
+            str(s) for s in DEFAULT_WINDOWS
+        ), f"unexpected windows: {sorted(document['windows'])}")
+        in_60s = document["windows"]["60"].get("serve.latency_ms", {})
+        check(in_60s.get("count", 0) >= 2,
+              f"60s window missed the traffic: {in_60s}")
+        with urllib.request.urlopen(
+            f"{base_url}/healthz", timeout=10
+        ) as response:
+            check(response.read() == b"ok\n", "healthz not ok")
+        print("telemetry endpoint OK: windows "
+              + ", ".join(sorted(document["windows"])))
+
+        # --- close stdin: responses drain in input order --------------
+        proc.stdin.close()
+        plain = json.loads(proc.stdout.readline())
+        explained = json.loads(proc.stdout.readline())
+        check(plain.get("ok") is True, f"plain request failed: {plain}")
+        check("explain" not in plain, "unsolicited explain payload")
+        check(explained.get("ok") is True,
+              f"explain request failed: {explained}")
+        echo = explained.get("explain")
+        check(isinstance(echo, dict), f"missing explain echo: {explained}")
+        check(echo["nearest_id"] == explained["point_id"],
+              "explain echo disagrees with the served answer")
+        check(echo["path"] in ("cell", "cell_retry", "empty_point_query",
+                               "outside_data_space"),
+              f"unknown explain path {echo['path']!r}")
+        print(f"JSONL OK: explain path={echo['path']}, "
+              f"candidates={echo['n_candidates']}")
+        check(proc.wait(timeout=30) == 0,
+              f"serve exited with {proc.returncode}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        reader.join(timeout=5)
+
+    print("telemetry smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
