@@ -67,9 +67,13 @@ from .core.persistence import load_index, save_index
 from .data.registry import dataset_names, make_dataset
 from .data.synthetic import query_points
 from .eval import experiments as experiments_module
+from .eval.loadgen import run_service_load
+from .eval.reporting import ResultTable
 from .obs import export as obs_export
 from .obs import metrics as obs_metrics
 from .obs import timeseries as obs_timeseries
+from .obs import tracectx as obs_tracectx
+from .obs import tracestore as obs_tracestore
 from .obs import tracing as obs_tracing
 from .serve import (
     QueryService,
@@ -204,6 +208,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="RATE",
                        help="event sampling rate in [0, 1]"
                             " (with --events)")
+    serve.add_argument("--tracing", action="store_true",
+                       help="record request traces into a tail-sampled"
+                            " store (slowest + degraded requests;"
+                            " resolve ids via GET /trace/<id>)")
+    serve.add_argument("--slo", action="store_true",
+                       help="run the SLO burn-rate watchdog (alert state"
+                            " on /telemetry, 503 /healthz while paging)")
+    serve.add_argument("--slo-degrade", action="store_true",
+                       help="let a paging SLO shed the micro-batching"
+                            " delay (QueryService degraded mode)")
     serve.set_defaults(handler=_cmd_serve)
 
     explain = sub.add_parser(
@@ -248,6 +262,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stop --watch after this long"
                             " (default: until interrupted)")
     stats.set_defaults(handler=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced sample workload through the query service and"
+             " inspect the tail: slowest requests, per-stage critical"
+             " path, Chrome trace export",
+    )
+    trace.add_argument("index", type=Path)
+    trace.add_argument("action", choices=["top", "show", "export"],
+                       help="top: slowest-request table with stage"
+                            " attribution; show: one trace's span tree +"
+                            " critical path; export: Chrome trace-event"
+                            " JSON (load in Perfetto)")
+    trace.add_argument("--queries", type=int, default=200,
+                       help="workload size driven through the service")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="workload seed")
+    trace.add_argument("--threads", type=int, default=4,
+                       help="concurrent client threads")
+    trace.add_argument("--limit", type=int, default=10,
+                       help="rows in the top table")
+    trace.add_argument("--trace-id", default=None, metavar="ID",
+                       help="trace to show (default: the slowest"
+                            " request)")
+    trace.add_argument("--out", type=Path, default=None, metavar="PATH",
+                       help="write the Chrome trace JSON here (export;"
+                            " default: stdout)")
+    trace.set_defaults(handler=_cmd_trace)
 
     experiment = sub.add_parser(
         "experiment", help="run a paper experiment and print its table"
@@ -468,11 +510,17 @@ def _serve_response(pending, request_id, explain_point, index) -> dict:
             "point_id": result.point_id,
             "distance": result.distance,
             "source": result.source,
+            "trace_id": result.trace_id,
         }
         if explain_point is not None:
             response["explain"] = index.explain(explain_point).as_dict()
     except ServeError as err:
         response = {"ok": False, "error": err.code, "message": str(err)}
+        # Failed requests are the ones worth looking up afterwards:
+        # echo the trace id so the client can hit /trace/<id> or grep
+        # the event log.
+        if getattr(err, "trace_id", ""):
+            response["trace_id"] = err.trace_id
     if request_id is not None:
         response["id"] = request_id
     return response
@@ -493,6 +541,9 @@ def _serve_telemetry(args: argparse.Namespace) -> "TelemetrySession | None":
         stats_interval_s=args.stats_interval,
         events_path=str(args.events) if args.events is not None else None,
         events_sample=args.events_sample,
+        tracing=args.tracing,
+        slo=args.slo or args.slo_degrade,
+        slo_degrade=args.slo_degrade,
     )
     if not config.active:
         return None
@@ -527,6 +578,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pipeline: "deque" = deque()
     try:
         with QueryService(index, config) as service:
+            if telemetry is not None:
+                telemetry.set_degrade_target(service)
             for line in sys.stdin:
                 line = line.strip()
                 if not line:
@@ -606,12 +659,20 @@ _EXPLAIN_PRINT_LIMIT = 10
 def _cmd_explain(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     point = _parse_point(args.point, index.dim)
-    result = index.explain(point)
+    # Explain is a one-request workflow: mint and bind a trace id so any
+    # span/event the traversal records is attributed, and echo the id so
+    # the output joins against the event log / trace store.
+    trace_id = obs_tracectx.new_trace_id()
+    with obs_tracectx.bind(trace_id):
+        result = index.explain(point)
     if args.json:
-        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        document = result.as_dict()
+        document["trace_id"] = trace_id
+        print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     coords = ", ".join(f"{c:.4f}" for c in result.query)
     print(f"query: [{coords}]")
+    print(f"trace: {trace_id}")
     retry = "  (after tolerance retry)" if result.retried_atol else ""
     print(f"path:  {result.path}{retry}")
     print(f"atol:  {result.atol:g}")
@@ -675,7 +736,12 @@ def _stats_watch(args: argparse.Namespace, index) -> int:
     --stats-interval`` prints, sourced from direct ``nearest`` calls.
     Runs until ``--duration`` elapses (or Ctrl-C).
     """
-    workload = query_points(args.queries, index.dim, seed=args.seed)
+    if args.queries < 0:
+        raise ValueError("--queries must be >= 0")
+    workload = (
+        query_points(args.queries, index.dim, seed=args.seed)
+        if args.queries else np.empty((0, index.dim))
+    )
     if args.interval <= 0:
         raise ValueError("--interval must be > 0")
     deadline = (
@@ -687,14 +753,19 @@ def _stats_watch(args: argparse.Namespace, index) -> int:
         i = 0
         try:
             while deadline is None or time.monotonic() < deadline:
-                q = workload[i % len(workload)]
-                i += 1
-                started = time.perf_counter()
-                index.nearest(q)
-                obs_metrics.observe(
-                    "query.latency_ms",
-                    1e3 * (time.perf_counter() - started),
-                )
+                # An empty workload (--queries 0) must still render the
+                # (all-zero) telemetry windows, not divide by zero.
+                if len(workload):
+                    q = workload[i % len(workload)]
+                    i += 1
+                    started = time.perf_counter()
+                    index.nearest(q)
+                    obs_metrics.observe(
+                        "query.latency_ms",
+                        1e3 * (time.perf_counter() - started),
+                    )
+                else:
+                    time.sleep(min(0.05, args.interval))
                 now = time.monotonic()
                 if now >= next_render:
                     print(
@@ -712,6 +783,139 @@ def _stats_watch(args: argparse.Namespace, index) -> int:
             ).render()
         )
     return 0
+
+
+#: ``trace top`` column -> critical-path stage.
+_TRACE_STAGE_COLUMNS = (
+    ("queue_ms", "queue_wait"),
+    ("walk_ms", "tree_walk"),
+    ("scan_ms", "candidate_scan"),
+    ("lp_ms", "lp"),
+    ("fallback_ms", "fallback"),
+    ("deliver_ms", "deliver"),
+)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: traced service workload + tail inspection.
+
+    Drives ``--queries`` sample queries through a :class:`QueryService`
+    with tracing enabled (the same wiring ``serve --tracing`` uses),
+    then reads the populated trace store: the slowest-request table
+    (``top``), one span tree with its critical path (``show``), or a
+    Chrome trace-event export (``export``).
+    """
+    index = load_index(args.index)
+    if args.queries < 1:
+        raise ValueError("--queries must be >= 1")
+    if args.action == "export" and args.out is not None:
+        _require_parent_dir(args.out, "trace output")
+    workload = query_points(args.queries, index.dim, seed=args.seed)
+    with TelemetrySession(TelemetryConfig(tracing=True)) as session:
+        report = run_service_load(index, workload, n_threads=args.threads)
+        store = session.tracestore
+        if args.action == "top":
+            _trace_top(store, args.limit, report)
+        elif args.action == "show":
+            _trace_show(store, args.trace_id)
+        else:
+            _trace_export(store, args.out)
+    return 0
+
+
+def _trace_top(store, limit: int, report) -> None:
+    rows = store.slowest(limit, kind="request")
+    table = ResultTable(
+        title=(
+            f"Slowest requests — {len(rows)} of {len(store)} stored"
+            f" traces ({report.n_queries} queries,"
+            f" {report.errors} errors)"
+        ),
+        columns=(
+            ["trace_id", "total_ms", "coverage"]
+            + [column for column, __ in _TRACE_STAGE_COLUMNS]
+            + ["flags"]
+        ),
+    )
+    for trace in rows:
+        path = obs_tracestore.critical_path(trace, store)
+        flags = ",".join(
+            flag for flag, on in
+            (("error", trace.error), ("fallback", trace.fallback)) if on
+        )
+        row = {
+            "trace_id": trace.trace_id,
+            "total_ms": f"{trace.duration_ms:.3f}",
+            "coverage": f"{100.0 * path.coverage:.0f}%",
+            "flags": flags or "-",
+        }
+        for column, stage in _TRACE_STAGE_COLUMNS:
+            row[column] = f"{path.stages.get(stage, 0.0):.3f}"
+        table.add_row(**row)
+    print(table.render())
+
+
+def _trace_show(store, trace_id: "str | None") -> None:
+    if trace_id is not None:
+        trace = store.get(trace_id)
+        if trace is None:
+            raise ValueError(f"no stored trace with id {trace_id!r}")
+    else:
+        slowest = store.slowest(1, kind="request")
+        if not slowest:
+            raise ValueError("no request traces were stored")
+        trace = slowest[0]
+    path = obs_tracestore.critical_path(trace, store)
+    flags = ",".join(
+        flag for flag, on in
+        (("error", trace.error), ("fallback", trace.fallback)) if on
+    )
+    print(f"trace:    {trace.trace_id}  ({trace.kind})")
+    print(f"duration: {trace.duration_ms:.3f} ms")
+    if flags:
+        print(f"flags:    {flags}")
+    if trace.links:
+        print(f"links:    {', '.join(trace.links)}")
+    print(f"critical path (coverage {100.0 * path.coverage:.0f}%):")
+    for stage in obs_tracestore.STAGES:
+        if stage in path.stages:
+            print(f"  {stage:<14} {path.stages[stage]:10.3f} ms")
+    print("spans:")
+    _print_span_tree(trace.root, 0, trace.root.start)
+    # A request's compute segment is one opaque span; the detail lives
+    # in the micro-batch flush trace it links to.  Show it too.
+    for child in trace.root.children:
+        flush_id = child.attributes.get("flush")
+        if flush_id:
+            flush = store.get(str(flush_id))
+            if flush is not None:
+                print(f"flush {flush.trace_id} spans:")
+                _print_span_tree(flush.root, 0, trace.root.start)
+
+
+def _print_span_tree(span, depth: int, base: float) -> None:
+    """One span per line: name, offset from ``base``, duration."""
+    offset_ms = 1e3 * (span.start - base)
+    label = "  " * depth + span.name
+    print(
+        f"  {label:<36} +{offset_ms:9.3f} ms"
+        f"  {1e3 * span.duration_seconds:9.3f} ms"
+    )
+    for child in span.children:
+        _print_span_tree(child, depth + 1, base)
+
+
+def _trace_export(store, out: "Path | None") -> None:
+    document = obs_tracestore.to_chrome_trace(store.traces())
+    text = json.dumps(document, sort_keys=True)
+    if out is None:
+        print(text)
+        return
+    out.write_text(text + "\n")
+    print(
+        f"({len(document['traceEvents'])} trace events written to {out})",
+        file=sys.stderr,
+    )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

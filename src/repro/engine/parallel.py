@@ -47,7 +47,7 @@ from ..geometry.halfspace import HalfspaceSystem
 from ..geometry.mbr import MBR
 from ..lp import interface as lp_interface
 from ..obs import events, metrics
-from ..obs.tracing import span
+from ..obs.tracing import carrier, span
 
 __all__ = [
     "CellWorkshop",
@@ -137,7 +137,16 @@ class CellWorkshop:
     def compute_chunk(self, ids: Sequence[int]) -> ChunkResult:
         started = time.perf_counter()
         lp_before = lp_call_count()
-        cells = [self.compute(int(i)) for i in ids]
+        # Worker-side span: a no-op in process workers (tracing is per
+        # process and off there), but thread workers run under the
+        # submitter's carried context, so this nests beneath
+        # `build.cells.parallel` and inherits its trace id.
+        with span(
+            "build.chunk.compute",
+            worker=_worker_label(),
+            n_points=len(ids),
+        ):
+            cells = [self.compute(int(i)) for i in ids]
         return ChunkResult(
             cells=cells,
             worker=_worker_label(),
@@ -213,7 +222,18 @@ def parallel_cells(
             pool = ThreadPoolExecutor(
                 max_workers=workers, initializer=_init_thread_worker
             )
-            run_chunk = _thread_chunk
+            # Thread workers run in their own contextvars context, so
+            # spans they open would detach from this build (and from any
+            # enclosing request's trace id).  Capture the submitting
+            # context once and re-enter it around every chunk: worker
+            # spans parent under `build.cells.parallel` and carry the
+            # submitter's trace id, matching the serial span tree.
+            # (Process workers cannot share a span tree; the parent
+            # re-emits their accounting as `build.worker_chunk` below.)
+            submit_ctx = carrier()
+
+            def run_chunk(ids: np.ndarray) -> ChunkResult:
+                return submit_ctx.call(_thread_chunk, ids)
         else:
             pool = ProcessPoolExecutor(
                 max_workers=workers,

@@ -1,25 +1,44 @@
-"""Observability: metrics, tracing, live telemetry, profile exporters.
+"""Observability: metrics, tracing, telemetry, SLOs, profile exporters.
 
-Six small modules with one job each:
+Small modules with one job each:
 
 * :mod:`repro.obs.metrics` — process-wide counters / gauges /
   histograms, free when disabled, thread-safe when enabled;
 * :mod:`repro.obs.tracing` — nested wall-clock spans propagated via
   ``contextvars``;
+* :mod:`repro.obs.tracectx` — request-scoped trace ids, minted at serve
+  admission and propagated with the same ``contextvars`` discipline;
+* :mod:`repro.obs.tracestore` — tail-sampled bounded retention of
+  finished traces, critical-path analysis, Chrome trace export;
 * :mod:`repro.obs.timeseries` — sliding-window (1s/10s/60s) per-second
-  buckets over serving/query metrics, feeding the live dashboards;
+  buckets over serving/query metrics, feeding the live dashboards and
+  carrying tail exemplars (trace ids of the slowest observations);
+* :mod:`repro.obs.slo` — declared objectives with multi-window
+  burn-rate alerting over those windows;
 * :mod:`repro.obs.events` — sampled structured event log, one record
-  per query / flush / build-chunk lifecycle;
+  per query / flush / build-chunk lifecycle, trace-id stamped;
 * :mod:`repro.obs.promexport` — Prometheus text exposition plus the
-  ``--metrics-port`` HTTP scrape endpoint;
+  ``--metrics-port`` HTTP scrape endpoint (`/metrics`, `/telemetry`,
+  `/trace/<id>`, `/healthz`);
 * :mod:`repro.obs.export` — JSON / CSV / table exporters and the
   ``--profile`` document format.
 
 See ``docs/observability.md`` for the metric-name and span taxonomy and
-the "Live telemetry" section for windows, event schema and scrape names.
+``docs/tracing.md`` for the trace lifecycle, tail sampling, exemplars
+and SLO burn-rate semantics.
 """
 
-from . import events, export, metrics, promexport, timeseries, tracing
+from . import (
+    events,
+    export,
+    metrics,
+    promexport,
+    slo,
+    timeseries,
+    tracectx,
+    tracestore,
+    tracing,
+)
 from .events import EventLog
 from .export import (
     ProfileDecodeError,
@@ -36,19 +55,35 @@ from .export import (
     write_profile,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .promexport import MetricsServer, parse_exposition, render_prometheus
+from .promexport import (
+    ExpositionNameError,
+    MetricsServer,
+    parse_exposition,
+    render_prometheus,
+    validate_metric_name,
+)
+from .slo import SLO, SLOWatchdog
 from .timeseries import (
     TimeSeries,
     dashboard,
     dashboard_line,
     telemetry_table,
 )
-from .tracing import Span, Tracer, current_span, span, traced
+from .tracestore import (
+    StoredTrace,
+    TraceStore,
+    critical_path,
+    to_chrome_trace,
+)
+from .tracing import Span, TraceCarrier, Tracer, carrier, current_span, span, traced
 
 __all__ = [
     "metrics",
     "tracing",
+    "tracectx",
+    "tracestore",
     "timeseries",
+    "slo",
     "events",
     "promexport",
     "export",
@@ -59,6 +94,8 @@ __all__ = [
     "TimeSeries",
     "EventLog",
     "MetricsServer",
+    "ExpositionNameError",
+    "validate_metric_name",
     "render_prometheus",
     "parse_exposition",
     "dashboard",
@@ -66,9 +103,17 @@ __all__ = [
     "telemetry_table",
     "Span",
     "Tracer",
+    "TraceCarrier",
+    "carrier",
     "span",
     "traced",
     "current_span",
+    "StoredTrace",
+    "TraceStore",
+    "critical_path",
+    "to_chrome_trace",
+    "SLO",
+    "SLOWatchdog",
     "metrics_to_dict",
     "metrics_to_csv",
     "metrics_table",

@@ -46,6 +46,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 import random
 
+from . import tracectx
+
 __all__ = [
     "DEFAULT_CAPACITY",
     "EventLog",
@@ -98,7 +100,13 @@ class EventLog:
         )
 
     def emit(self, kind: str, **fields: Any) -> bool:
-        """Record one lifecycle; returns whether it survived sampling."""
+        """Record one lifecycle; returns whether it survived sampling.
+
+        A record emitted while a trace id is bound to the calling
+        context (:mod:`repro.obs.tracectx`) is stamped with it, so the
+        event log joins against the trace store on ``trace_id``.
+        """
+        trace_id = tracectx.current_trace_id()
         with self._lock:
             self.emitted += 1
             if self.sample < 1.0 and self._rng.random() >= self.sample:
@@ -108,6 +116,8 @@ class EventLog:
                 "ts": self._clock(),
                 "kind": kind,
             }
+            if trace_id is not None and "trace_id" not in fields:
+                record["trace_id"] = trace_id
             record.update(fields)
             self._ring.append(record)
             self.recorded += 1

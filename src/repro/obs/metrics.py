@@ -35,7 +35,7 @@ import random
 import threading
 import zlib
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with the sink module
     from .timeseries import TimeSeries
@@ -186,6 +186,28 @@ class MetricsRegistry:
         self._counters: "Dict[str, Counter]" = {}
         self._gauges: "Dict[str, Gauge]" = {}
         self._histograms: "Dict[str, Histogram]" = {}
+        self._name_validator: "Optional[Callable[[str], None]]" = None
+
+    def set_name_validator(
+        self, validator: "Optional[Callable[[str], None]]"
+    ) -> None:
+        """Apply ``validator`` to every *new* metric name at creation.
+
+        The validator raises to reject a name; nothing is registered in
+        that case.  Existing names are re-checked immediately, so
+        installing the exposition-grammar validator
+        (:func:`repro.obs.promexport.validate_metric_name`) on a live
+        registry surfaces an unscrapeable name at install time rather
+        than at scrape time.
+        """
+        with self._lock:
+            if validator is not None:
+                for name in (
+                    list(self._counters) + list(self._gauges)
+                    + list(self._histograms)
+                ):
+                    validator(name)
+            self._name_validator = validator
 
     # ------------------------------------------------------------------
     # Metric access (get-or-create)
@@ -194,6 +216,8 @@ class MetricsRegistry:
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
+                if self._name_validator is not None:
+                    self._name_validator(name)
                 metric = self._counters[name] = Counter(name)
             return metric
 
@@ -201,6 +225,8 @@ class MetricsRegistry:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
+                if self._name_validator is not None:
+                    self._name_validator(name)
                 metric = self._gauges[name] = Gauge(name)
             return metric
 
@@ -208,6 +234,8 @@ class MetricsRegistry:
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
+                if self._name_validator is not None:
+                    self._name_validator(name)
                 metric = self._histograms[name] = Histogram(name)
             return metric
 
@@ -218,6 +246,8 @@ class MetricsRegistry:
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
+                if self._name_validator is not None:
+                    self._name_validator(name)
                 metric = self._counters[name] = Counter(name)
             metric.inc(amount)
 
@@ -225,6 +255,8 @@ class MetricsRegistry:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
+                if self._name_validator is not None:
+                    self._name_validator(name)
                 metric = self._gauges[name] = Gauge(name)
             metric.set(value)
 
@@ -232,6 +264,8 @@ class MetricsRegistry:
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
+                if self._name_validator is not None:
+                    self._name_validator(name)
                 metric = self._histograms[name] = Histogram(name)
             metric.observe(value)
 
@@ -375,14 +409,21 @@ def set_gauge(name: str, value: float) -> None:
         ts.set_gauge(name, value)
 
 
-def observe(name: str, value: float) -> None:
-    """Hot-path histogram observation; no-op unless metrics are enabled."""
+def observe(
+    name: str, value: float, trace_id: "Optional[str]" = None
+) -> None:
+    """Hot-path histogram observation; no-op unless metrics are enabled.
+
+    ``trace_id`` tags the observation in the windowed sink so tail
+    percentiles keep exemplar links to stored traces; the cumulative
+    histogram ignores it.
+    """
     if not _enabled:
         return
     _registry.observe(name, value)
     ts = _timeseries
     if ts is not None:
-        ts.observe(name, value)
+        ts.observe(name, value, trace_id)
 
 
 def snapshot() -> "Dict[str, float]":

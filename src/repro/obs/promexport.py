@@ -37,15 +37,64 @@ from .timeseries import DEFAULT_WINDOWS, TimeSeries
 
 __all__ = [
     "CONTENT_TYPE",
+    "ExpositionNameError",
     "MetricsServer",
     "metric_name",
     "parse_exposition",
     "render_prometheus",
+    "validate_metric_name",
 ]
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The exposition grammar for a full metric name (prometheus.io data
+#: model); what :func:`metric_name` must produce for a scrape to parse.
+_VALID_PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class ExpositionNameError(ValueError):
+    """A metric name that cannot be exposed on ``/metrics``.
+
+    Raised at *registration* time when the exposition validator is
+    installed on the registry (see
+    :meth:`repro.obs.metrics.MetricsRegistry.set_name_validator`), so a
+    typo'd metric name fails at the call site that introduced it instead
+    of rendering an unscrapeable exposition page.
+    """
+
+    def __init__(self, name: str, reason: str):
+        super().__init__(
+            f"metric name {name!r} cannot be exposed to Prometheus: "
+            f"{reason}"
+        )
+        self.name = name
+        self.reason = reason
+
+
+def validate_metric_name(name: str) -> None:
+    """Reject ``name`` unless its exposition form obeys the grammar.
+
+    Registry names are dotted (``serve.latency_ms``); the check runs on
+    the :func:`metric_name` mapping (dots become underscores) plus the
+    constraints the mapping cannot repair: emptiness and reserved
+    ``__``-prefixed names.  Raises :class:`ExpositionNameError`.
+    """
+    if not isinstance(name, str) or not name:
+        raise ExpositionNameError(str(name), "name must be a non-empty string")
+    exposed = name.replace(".", "_")
+    if exposed.startswith("__"):
+        raise ExpositionNameError(
+            name, "names starting with '__' are reserved by Prometheus"
+        )
+    if not _VALID_PROM_NAME.match(exposed):
+        bad = sorted(set(_INVALID_CHARS.findall(exposed)))
+        raise ExpositionNameError(
+            name,
+            f"maps to {exposed!r} which violates the exposition grammar "
+            f"[a-zA-Z_:][a-zA-Z0-9_:]* (offending characters: {bad})",
+        )
 
 #: Summary quantile label -> key in ``Histogram.summary()``.
 _QUANTILES: "Tuple[Tuple[str, str], ...]" = (
@@ -148,9 +197,19 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         timeseries: "Optional[TimeSeries]" = None,
+        tracestore=None,
+        watchdog=None,
     ):
+        """``tracestore`` (a :class:`~repro.obs.tracestore.TraceStore`)
+        adds ``GET /trace/<id>`` — the stored trace, its span tree and
+        critical path as JSON, the link target for /telemetry exemplars.
+        ``watchdog`` (a :class:`~repro.obs.slo.SLOWatchdog`) adds SLO
+        state to ``/telemetry`` and flips ``/healthz`` to 503 while any
+        objective pages."""
         self.registry = registry  # None = the process-wide registry
         self.timeseries = timeseries
+        self.tracestore = tracestore
+        self.watchdog = watchdog
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -164,7 +223,19 @@ class MetricsServer:
                     ).encode()
                     self._reply(200, "application/json", body)
                 elif self.path == "/healthz":
-                    self._reply(200, "text/plain", b"ok\n")
+                    if server.watchdog is not None and server.watchdog.paging:
+                        self._reply(503, "text/plain", b"paging\n")
+                    else:
+                        self._reply(200, "text/plain", b"ok\n")
+                elif self.path.startswith("/trace/"):
+                    document = server.trace_document(
+                        self.path[len("/trace/"):]
+                    )
+                    if document is None:
+                        self._reply(404, "text/plain", b"no such trace\n")
+                    else:
+                        body = json.dumps(document, sort_keys=True).encode()
+                        self._reply(200, "application/json", body)
                 else:
                     self._reply(404, "text/plain", b"not found\n")
 
@@ -189,16 +260,46 @@ class MetricsServer:
         return f"http://{self.host}:{self.port}/metrics"
 
     def telemetry_document(self) -> "Dict[str, object]":
-        """The windowed JSON view served at ``/telemetry``."""
-        if self.timeseries is None:
-            return {"windows": {}}
-        return {
-            "windows": {
+        """The windowed JSON view served at ``/telemetry``.
+
+        Histogram window summaries carry tail ``exemplars`` — resolve a
+        ``trace_id`` via ``GET /trace/<id>``.  With a watchdog attached
+        the document gains an ``slo`` section; with a trace store, a
+        ``traces`` retention summary.
+        """
+        document: "Dict[str, object]" = {"windows": {}}
+        if self.timeseries is not None:
+            document["windows"] = {
                 str(seconds): snapshot.as_dict()
                 for seconds, snapshot in
                 self.timeseries.windows(DEFAULT_WINDOWS).items()
             }
-        }
+        if self.watchdog is not None:
+            document["slo"] = self.watchdog.status()
+        if self.tracestore is not None:
+            document["traces"] = {
+                "stored": len(self.tracestore),
+                "added": self.tracestore.added,
+                "dropped": self.tracestore.dropped,
+            }
+        return document
+
+    def trace_document(self, trace_id: str) -> "Optional[Dict[str, object]]":
+        """One stored trace as JSON, or ``None`` if unknown."""
+        if self.tracestore is None:
+            return None
+        trace = self.tracestore.get(trace_id)
+        if trace is None:
+            return None
+        from .export import span_to_dict
+        from .tracestore import critical_path
+
+        document = trace.as_dict()
+        document["critical_path"] = critical_path(
+            trace, self.tracestore
+        ).as_dict()
+        document["root"] = span_to_dict(trace.root)
+        return document
 
     def start(self) -> "MetricsServer":
         """Serve scrapes on a daemon thread; returns ``self``."""

@@ -60,6 +60,11 @@ DEFAULT_PREFIXES: "Tuple[str, ...]" = ("serve.", "query.")
 #: Reservoir cap on stored samples *per bucket per metric*.
 BUCKET_SAMPLE_CAP = 512
 
+#: Exemplar trace ids retained *per bucket per metric* — only the
+#: largest observations keep their trace id, since those are the ones
+#: a p99 on /telemetry will point at.
+BUCKET_EXEMPLAR_CAP = 4
+
 _COUNTER = "counter"
 _HISTOGRAM = "histogram"
 _GAUGE = "gauge"
@@ -68,7 +73,10 @@ _GAUGE = "gauge"
 class _Bucket:
     """Aggregates of one metric within one wall-clock second."""
 
-    __slots__ = ("kind", "count", "total", "min", "max", "last", "samples")
+    __slots__ = (
+        "kind", "count", "total", "min", "max", "last", "samples",
+        "exemplars",
+    )
 
     def __init__(self, kind: str):
         self.kind = kind
@@ -78,6 +86,8 @@ class _Bucket:
         self.max = float("-inf")
         self.last = 0.0
         self.samples: "List[float]" = []
+        #: ``(value, trace_id)`` for the largest traced observations.
+        self.exemplars: "List[Tuple[float, str]]" = []
 
 
 def _percentile(ordered: "List[float]", q: float) -> float:
@@ -98,7 +108,7 @@ class MetricWindow:
 
     __slots__ = (
         "name", "kind", "seconds", "count", "total", "min", "max", "last",
-        "_samples",
+        "_samples", "_exemplars",
     )
 
     def __init__(self, name: str, kind: str, seconds: float):
@@ -111,6 +121,7 @@ class MetricWindow:
         self.max = float("-inf")
         self.last = 0.0
         self._samples: "List[float]" = []
+        self._exemplars: "List[Tuple[float, str]]" = []
 
     def _merge(self, bucket: _Bucket) -> None:
         self.count += bucket.count
@@ -121,6 +132,10 @@ class MetricWindow:
             self.max = bucket.max
         self.last = bucket.last  # buckets are merged oldest -> newest
         self._samples.extend(bucket.samples)
+        if bucket.exemplars:
+            self._exemplars.extend(bucket.exemplars)
+            self._exemplars.sort(key=lambda e: e[0], reverse=True)
+            del self._exemplars[BUCKET_EXEMPLAR_CAP:]
 
     @property
     def rate(self) -> float:
@@ -144,6 +159,24 @@ class MetricWindow:
         """Percentile of the window's (reservoir-sampled) observations."""
         return _percentile(sorted(self._samples), q)
 
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of the window's observations above ``threshold``.
+
+        The bad-event fraction used by latency SLOs
+        (:mod:`repro.obs.slo`).  Computed over the reservoir sample, so
+        it is exact until a bucket overflows ``BUCKET_SAMPLE_CAP`` and a
+        sound estimate after.  Empty windows report 0.0.
+        """
+        if not self._samples:
+            return 0.0
+        above = sum(1 for v in self._samples if v > threshold)
+        return above / len(self._samples)
+
+    def exemplars(self) -> "List[Tuple[float, str]]":
+        """The window's tail exemplars: ``(value, trace_id)``, largest
+        first.  Only observations recorded with a trace id appear."""
+        return list(self._exemplars)
+
     def summary(self) -> "Dict[str, float]":
         """JSON-ready aggregate view (used by the /telemetry endpoint)."""
         if self.count == 0:
@@ -162,6 +195,13 @@ class MetricWindow:
             out["p50"] = _percentile(ordered, 50)
             out["p95"] = _percentile(ordered, 95)
             out["p99"] = _percentile(ordered, 99)
+            if self._exemplars:
+                # Tail exemplars: /telemetry consumers resolve these ids
+                # against the trace store (GET /trace/<id>).
+                out["exemplars"] = [
+                    {"value": value, "trace_id": trace_id}
+                    for value, trace_id in self._exemplars
+                ]
         return out
 
 
@@ -257,8 +297,15 @@ class TimeSeries:
             bucket.total += amount
             bucket.last = amount
 
-    def observe(self, name: str, value: float) -> None:
-        """Histogram observation within the current second."""
+    def observe(
+        self, name: str, value: float, trace_id: "Optional[str]" = None
+    ) -> None:
+        """Histogram observation within the current second.
+
+        ``trace_id`` links the observation to a stored trace: the bucket
+        keeps the ids of its largest traced observations, so a window's
+        p99 can point at the concrete request behind it (exemplars).
+        """
         if not self.tracks(name):
             return
         value = float(value)
@@ -277,6 +324,15 @@ class TimeSeries:
                 j = self._rng.randrange(bucket.count)
                 if j < self._sample_cap:
                     bucket.samples[j] = value
+            if trace_id is not None:
+                exemplars = bucket.exemplars
+                if (
+                    len(exemplars) < BUCKET_EXEMPLAR_CAP
+                    or value > exemplars[-1][0]
+                ):
+                    exemplars.append((value, trace_id))
+                    exemplars.sort(key=lambda e: e[0], reverse=True)
+                    del exemplars[BUCKET_EXEMPLAR_CAP:]
 
     def set_gauge(self, name: str, value: float) -> None:
         """Gauge update within the current second (keeps last and max)."""

@@ -29,16 +29,21 @@ import time
 from contextvars import ContextVar
 from typing import Any, Callable, Dict, List, Optional
 
+from . import tracectx
+
 __all__ = [
     "Span",
+    "TraceCarrier",
     "Tracer",
     "span",
     "traced",
+    "carrier",
     "current_span",
     "enabled",
     "enable",
     "disable",
     "get_tracer",
+    "set_tracer",
     "collecting",
 ]
 
@@ -50,7 +55,11 @@ class Span:
 
     def __init__(self, name: str, attributes: "Optional[Dict[str, Any]]" = None):
         self.name = name
-        self.attributes: "Dict[str, Any]" = dict(attributes or {})
+        # Takes ownership of `attributes` (span() hands over the fresh
+        # kwargs dict) — one less per-span allocation on hot paths.
+        self.attributes: "Dict[str, Any]" = (
+            attributes if attributes is not None else {}
+        )
         self.children: "List[Span]" = []
         self.start: float = 0.0
         self.end: float = 0.0
@@ -68,6 +77,13 @@ class Span:
     # Context-manager protocol
     # ------------------------------------------------------------------
     def __enter__(self) -> "Span":
+        # Spans opened while a request trace id is bound carry it, so a
+        # stored trace (and its Chrome export) is self-identifying even
+        # after the span tree leaves the context it was recorded in.
+        if "trace_id" not in self.attributes:
+            trace_id = tracectx.current_trace_id()
+            if trace_id is not None:
+                self.attributes["trace_id"] = trace_id
         self._token = _current.set(self)
         self.start = time.perf_counter()
         return self
@@ -150,9 +166,17 @@ def enabled() -> bool:
 
 
 def enable(tracer: "Optional[Tracer]" = None) -> Tracer:
-    """Start recording spans onto ``tracer`` (a fresh one by default)."""
+    """Start recording spans onto ``tracer`` (a fresh one by default).
+
+    The identity check matters: an *empty* sink (a fresh
+    :class:`~repro.obs.tracestore.TraceStore` has ``len() == 0`` and is
+    falsy) must still be installed.
+    """
     global _enabled, _tracer
-    _tracer = tracer or _tracer or Tracer()
+    if tracer is not None:
+        _tracer = tracer
+    elif _tracer is None:
+        _tracer = Tracer()
     _enabled = True
     return _tracer
 
@@ -166,6 +190,17 @@ def disable() -> None:
 def get_tracer() -> "Optional[Tracer]":
     """The installed tracer, or ``None`` if tracing never started."""
     return _tracer
+
+
+def set_tracer(tracer: "Optional[Tracer]") -> None:
+    """Install (or clear) the root-span sink without touching enablement.
+
+    Any object with an ``add(span)`` method works — the serving layer
+    installs a :class:`~repro.obs.tracestore.TraceStore` here so root
+    spans flow into the tail-sampled store instead of an unbounded list.
+    """
+    global _tracer
+    _tracer = tracer
 
 
 def span(name: str, **attributes: Any):
@@ -203,6 +238,64 @@ def traced(name: "Optional[str]" = None) -> "Callable":
         return wrapper
 
     return decorate
+
+
+class TraceCarrier:
+    """Captured span/trace context, re-enterable on another thread.
+
+    Executor workers run in their own :mod:`contextvars` context, so
+    spans they open would become unrelated roots (see
+    ``test_threads_get_independent_span_stacks``).  A carrier captures
+    the *submitting* side's current span and trace id; the worker wraps
+    its work in :meth:`attached` and everything it opens nests under the
+    submitting span and carries the submitting request's trace id —
+    parity with the serial span tree.
+
+    Child-list appends from several workers interleave safely
+    (``list.append`` is atomic under the GIL); ordering among sibling
+    worker spans is completion order, as with any concurrent trace.
+    """
+
+    __slots__ = ("parent", "trace_id")
+
+    def __init__(self):
+        self.parent: "Optional[Span]" = _current.get() if _enabled else None
+        self.trace_id = tracectx.current_trace_id()
+
+    def attached(self):
+        """Context manager binding the captured context on this thread."""
+        return _CarrierScope(self)
+
+    def call(self, fn: "Callable", *args: Any, **kwargs: Any):
+        """Run ``fn`` under the captured context (executor-friendly)."""
+        with self.attached():
+            return fn(*args, **kwargs)
+
+
+class _CarrierScope:
+    __slots__ = ("_carrier", "_span_token", "_ctx")
+
+    def __init__(self, carrier: TraceCarrier):
+        self._carrier = carrier
+        self._span_token = None
+        self._ctx = None
+
+    def __enter__(self) -> None:
+        if self._carrier.parent is not None:
+            self._span_token = _current.set(self._carrier.parent)
+        self._ctx = tracectx.bind(self._carrier.trace_id)
+        self._ctx.__enter__()
+
+    def __exit__(self, *exc_info) -> None:
+        self._ctx.__exit__(*exc_info)
+        if self._span_token is not None:
+            _current.reset(self._span_token)
+            self._span_token = None
+
+
+def carrier() -> TraceCarrier:
+    """Capture the calling context for re-entry on a worker thread."""
+    return TraceCarrier()
 
 
 class collecting:

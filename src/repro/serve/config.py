@@ -86,6 +86,22 @@ class TelemetryConfig:
     events_path: "Optional[str]" = None
     #: Event sampling rate in [0, 1] (1 = every lifecycle).
     events_sample: float = 1.0
+    #: Turn on span recording into a tail-sampled
+    #: :class:`~repro.obs.tracestore.TraceStore` (request traces,
+    #: exemplar links, ``/trace/<id>``, ``repro trace``).
+    tracing: bool = False
+    #: Slowest-trace retention bound of the store (see
+    #: :data:`repro.obs.tracestore.DEFAULT_CAPACITY`).
+    trace_capacity: int = 256
+    #: Run the SLO burn-rate watchdog (``serve.slo.*`` gauges, alert
+    #: state on /telemetry, 503 /healthz while paging).
+    slo: bool = False
+    #: Watchdog evaluation cadence, seconds.
+    slo_interval_s: float = 1.0
+    #: Let a paging watchdog flip the service's degradation ladder
+    #: (``QueryService.set_degraded``): shed the batching delay while an
+    #: objective burns its budget.
+    slo_degrade: bool = False
 
     def __post_init__(self):
         if self.metrics_port is not None and not (
@@ -96,6 +112,10 @@ class TelemetryConfig:
             raise ValueError("stats_interval_s must be >= 0")
         if not 0.0 <= self.events_sample <= 1.0:
             raise ValueError("events_sample must be in [0, 1]")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if self.slo_interval_s <= 0.0:
+            raise ValueError("slo_interval_s must be > 0")
 
     @property
     def active(self) -> bool:
@@ -104,4 +124,6 @@ class TelemetryConfig:
             self.metrics_port is not None
             or self.stats_interval_s > 0.0
             or self.events_path is not None
+            or self.tracing
+            or self.slo
         )

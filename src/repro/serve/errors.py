@@ -25,6 +25,12 @@ class ServeError(Exception):
     #: Stable machine-readable identifier used in protocol responses.
     code = "serve_error"
 
+    #: Trace id of the failed request (set by the service at raise
+    #: time), echoed in JSONL error responses so a client can look the
+    #: failure up in the trace store / event log.  Empty when the
+    #: failure happened before an identity existed.
+    trace_id: str = ""
+
 
 class ServiceOverloaded(ServeError):
     """The admission controller rejected the request: queue full.

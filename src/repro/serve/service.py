@@ -45,8 +45,8 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from ..index.linear_scan import LinearScan
-from ..obs import events, metrics
-from ..obs.tracing import span
+from ..obs import events, metrics, tracectx, tracestore, tracing
+from ..obs.tracing import Span, span
 from .config import ServeConfig
 from .errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded
 
@@ -70,6 +70,10 @@ class QueryResult:
     source: str = "batch"
     #: Submission-to-completion latency, milliseconds.
     latency_ms: float = 0.0
+    #: Request-scoped trace id, minted at admission
+    #: (:mod:`repro.obs.tracectx`); resolvable against the trace store
+    #: (``repro trace show``, ``GET /trace/<id>``) while tracing is on.
+    trace_id: str = ""
 
 
 # Request lifecycle: transitions happen under the service lock only.
@@ -83,18 +87,27 @@ class _Request:
     """Internal per-submission record shared by caller and flush loop."""
 
     __slots__ = (
-        "point", "deadline", "enqueued_at", "event", "result", "error",
-        "state",
+        "point", "deadline", "enqueued_at", "enqueued_pc", "event",
+        "result", "error", "state", "trace_id",
     )
 
     def __init__(self, point: np.ndarray, deadline: "float | None"):
         self.point = point
         self.deadline = deadline
         self.enqueued_at = time.monotonic()
+        # perf_counter twin of enqueued_at: span timestamps use the
+        # perf_counter clock, so the queue-wait span must too.
+        self.enqueued_pc = time.perf_counter()
         self.event = threading.Event()
         self.result: "Optional[QueryResult]" = None
         self.error: "Optional[Exception]" = None
         self.state = _PENDING
+        # Admission mints the identity: reuse the caller's bound trace
+        # id if one exists (CLI workflows bind one around a whole run),
+        # else mint fresh.  Minting is unconditional — an id costs one
+        # locked RNG read, and every response/error must carry one even
+        # with tracing off.
+        self.trace_id = tracectx.current_trace_id() or tracectx.new_trace_id()
 
 
 class PendingResult:
@@ -144,6 +157,69 @@ def _remaining(deadline: "float | None") -> "float | None":
     return max(0.0, deadline - time.monotonic())
 
 
+def _failure(error: Exception, request: _Request) -> Exception:
+    """Stamp ``request``'s trace id onto a typed serve error."""
+    error.trace_id = request.trace_id
+    return error
+
+
+def _request_trace(
+    request: _Request,
+    pickup_pc: float,
+    flush_end_pc: float,
+    flush_tid: "Optional[str]",
+    source: str = "",
+    error: str = "",
+) -> "tracestore.StoredTrace":
+    """Assemble one request's trace from the flush loop's time marks.
+
+    The root ``serve.request`` span covers enqueue -> now; its children
+    are the three contiguous segments the request actually spent time in
+    (queue wait, the shared flush compute, delivery), so critical-path
+    coverage is ~1.0 by construction.  The compute segment records the
+    flush trace id — the per-stage breakdown (tree walk, candidate scan,
+    LP, fallback) lives in the flush's own span tree and is joined at
+    analysis time (:func:`repro.obs.tracestore.critical_path`).
+    """
+    done_pc = time.perf_counter()
+    attrs: "Dict[str, object]" = {"trace_id": request.trace_id}
+    if source:
+        attrs["source"] = source
+    if error:
+        attrs["error"] = error
+    links = [flush_tid] if flush_tid else []
+    if links:
+        attrs["links"] = links
+    root = Span("serve.request", attrs)
+    root.start = request.enqueued_pc
+    root.end = done_pc
+    queue_wait = Span("serve.queue_wait")
+    queue_wait.start = request.enqueued_pc
+    queue_wait.end = pickup_pc
+    root.children.append(queue_wait)
+    if not error:
+        compute = Span(
+            "serve.compute", {"flush": flush_tid} if flush_tid else None
+        )
+        compute.start = pickup_pc
+        compute.end = flush_end_pc
+        deliver = Span("serve.deliver")
+        deliver.start = flush_end_pc
+        deliver.end = done_pc
+        root.children.append(compute)
+        root.children.append(deliver)
+    return tracestore.StoredTrace(
+        trace_id=request.trace_id,
+        root=root,
+        kind="request",
+        ts=time.time(),
+        duration_ms=1e3 * root.duration_seconds,
+        error=bool(error),
+        fallback=source in ("serial", "scan"),
+        links=links,
+    )
+
+
 class QueryService:
     """Concurrent nearest-neighbor serving on top of one built index.
 
@@ -175,6 +251,7 @@ class QueryService:
         self._cond = threading.Condition()
         self._queue: "deque[_Request]" = deque()
         self._closed = False
+        self._degraded = False
         self._scan: "Optional[LinearScan]" = None
         self._scan_ids: "Optional[np.ndarray]" = None
         self._stats: "Dict[str, float]" = {
@@ -236,13 +313,16 @@ class QueryService:
         depth_cap = self.config.max_queue_depth
         with self._cond:
             if self._closed:
-                raise ServiceClosed("service is closed")
+                raise _failure(ServiceClosed("service is closed"), request)
             if depth_cap is not None and len(self._queue) >= depth_cap:
                 if self.config.admission == "reject":
                     self._stats["rejected"] += 1
                     metrics.inc("serve.rejected")
-                    raise ServiceOverloaded(
-                        f"queue depth {depth_cap} exceeded"
+                    raise _failure(
+                        ServiceOverloaded(
+                            f"queue depth {depth_cap} exceeded"
+                        ),
+                        request,
                     )
                 while (
                     not self._closed
@@ -251,12 +331,18 @@ class QueryService:
                     if not self._cond.wait(_remaining(deadline)):
                         self._stats["deadline_missed"] += 1
                         metrics.inc("serve.deadline_missed")
-                        raise DeadlineExceeded(
-                            "deadline passed while blocked on admission"
+                        raise _failure(
+                            DeadlineExceeded(
+                                "deadline passed while blocked on admission"
+                            ),
+                            request,
                         )
                 if self._closed:
-                    raise ServiceClosed("service is closed")
+                    raise _failure(
+                        ServiceClosed("service is closed"), request
+                    )
             request.enqueued_at = time.monotonic()
+            request.enqueued_pc = time.perf_counter()
             self._queue.append(request)
             self._stats["submitted"] += 1
             depth = len(self._queue)
@@ -271,12 +357,26 @@ class QueryService:
             if request.event.is_set():
                 return  # answer raced in while we were acquiring the lock
             request.state = _FAILED
-            request.error = DeadlineExceeded(
-                "result not produced within the deadline"
+            request.error = _failure(
+                DeadlineExceeded("result not produced within the deadline"),
+                request,
             )
             self._stats["deadline_missed"] += 1
             request.event.set()
         metrics.inc("serve.deadline_missed")
+        # An error trace is always worth keeping; cancellation happens on
+        # the caller's thread, so store it here — the flush loop will
+        # skip the cancelled request entirely.
+        if tracing.enabled():
+            store = tracestore.get_store()
+            if store is not None:
+                now_pc = time.perf_counter()
+                store.add_trace(
+                    _request_trace(
+                        request, now_pc, now_pc, None,
+                        error="deadline_exceeded",
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Flush loop
@@ -302,10 +402,11 @@ class QueryService:
                 if self._closed:
                     return None
                 self._cond.wait()
-            if cfg.max_wait_ms > 0:
+            if cfg.max_wait_ms > 0 and not self._degraded:
                 flush_at = self._queue[0].enqueued_at + cfg.max_wait_ms / 1e3
                 while (
                     not self._closed
+                    and not self._degraded
                     and len(self._queue) < cfg.max_batch_size
                 ):
                     remaining = flush_at - time.monotonic()
@@ -322,7 +423,11 @@ class QueryService:
     def _process(self, batch: "list[_Request]") -> None:
         """Answer one popped batch through the fallback ladder."""
         now = time.monotonic()
+        # Trace capture is on when spans are recorded *and* a store is
+        # installed to keep them; identity (trace ids) flows regardless.
+        store = tracestore.get_store() if tracing.enabled() else None
         live: "list[_Request]" = []
+        expired_requests: "list[_Request]" = []
         expired = 0
         with self._cond:
             for request in batch:
@@ -330,25 +435,50 @@ class QueryService:
                     continue  # caller already timed out and cancelled
                 if request.deadline is not None and now > request.deadline:
                     request.state = _FAILED
-                    request.error = DeadlineExceeded(
-                        "deadline passed while queued; work cancelled"
+                    request.error = _failure(
+                        DeadlineExceeded(
+                            "deadline passed while queued; work cancelled"
+                        ),
+                        request,
                     )
                     self._stats["deadline_missed"] += 1
                     expired += 1
                     request.event.set()
+                    expired_requests.append(request)
                     continue
                 request.state = _INFLIGHT
                 live.append(request)
         if expired:
             metrics.inc("serve.deadline_missed", expired)
+            if store is not None:
+                pickup_pc = time.perf_counter()
+                for request in expired_requests:
+                    store.add_trace(
+                        _request_trace(
+                            request, pickup_pc, pickup_pc, None,
+                            error="deadline_exceeded",
+                        )
+                    )
         if not live:
             return
         metrics.inc("serve.flush.count")
         metrics.observe("serve.batch.size", len(live))
-        with span("serve.flush", n_requests=len(live)) as flush:
-            results, pages = self._answer(live)
-            flush.set("pages", pages)
-            flush.set("sources", sorted({r.source for r in results}))
+        # The flush gets its own trace identity; the flush span links to
+        # every member request and each request trace links back (the
+        # bidirectional causality ISSUE 6 asks for).  As a root span in
+        # this thread it flows into the store via the tracer sink.
+        flush_tid = tracectx.new_trace_id() if store is not None else None
+        pickup_pc = time.perf_counter()
+        with tracectx.bind(flush_tid):
+            with span("serve.flush", n_requests=len(live)) as flush:
+                if flush_tid is not None:
+                    flush.set(
+                        "links", [request.trace_id for request in live]
+                    )
+                results, pages = self._answer(live)
+                flush.set("pages", pages)
+                flush.set("sources", sorted({r.source for r in results}))
+        flush_end_pc = time.perf_counter()
         done = time.monotonic()
         delivered = 0
         with self._cond:
@@ -364,6 +494,7 @@ class QueryService:
                     result.distance,
                     result.source,
                     latency_ms=1e3 * (done - request.enqueued_at),
+                    trace_id=request.trace_id,
                 )
                 self._stats["completed"] += 1
                 delivered += 1
@@ -371,12 +502,25 @@ class QueryService:
         if delivered:
             metrics.inc("serve.completed", delivered)
         for request in live:
-            if request.result is not None:
-                metrics.observe("serve.latency_ms", request.result.latency_ms)
+            if request.result is None:
+                continue
+            if store is not None:
+                # Store the trace *before* the exemplar-tagged latency
+                # observation, so a scraped exemplar always resolves.
+                store.add_trace(
+                    _request_trace(
+                        request, pickup_pc, flush_end_pc, flush_tid,
+                        source=request.result.source,
+                    )
+                )
+            metrics.observe(
+                "serve.latency_ms",
+                request.result.latency_ms,
+                trace_id=request.trace_id if store is not None else None,
+            )
         if events.enabled():
             sources = sorted({r.source for r in results})
-            events.emit(
-                "flush",
+            fields = dict(
                 outcome="ok" if sources == ["batch"] else "degraded",
                 n_requests=len(live),
                 delivered=delivered,
@@ -385,6 +529,9 @@ class QueryService:
                 sources=sources,
                 duration_ms=1e3 * (done - now),
             )
+            if flush_tid is not None:
+                fields["trace_id"] = flush_tid
+            events.emit("flush", **fields)
 
     # ------------------------------------------------------------------
     # Fallback ladder
@@ -467,8 +614,11 @@ class QueryService:
                     while self._queue:
                         request = self._queue.popleft()
                         request.state = _FAILED
-                        request.error = ServiceClosed(
-                            "service closed before the request was served"
+                        request.error = _failure(
+                            ServiceClosed(
+                                "service closed before the request was served"
+                            ),
+                            request,
                         )
                         request.event.set()
                 self._cond.notify_all()
@@ -477,6 +627,26 @@ class QueryService:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def set_degraded(self, degraded: bool) -> None:
+        """Latency-shedding hook for the SLO watchdog.
+
+        While degraded, :meth:`_next_batch` skips the ``max_wait_ms``
+        batching delay and flushes whatever is queued immediately —
+        trading batching efficiency for lower queue-wait latency while
+        an objective is burning its budget.  Idempotent and safe from
+        any thread.
+        """
+        with self._cond:
+            if self._degraded == bool(degraded):
+                return
+            self._degraded = bool(degraded)
+            self._cond.notify_all()
+        metrics.set_gauge("serve.degraded", 1.0 if degraded else 0.0)
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
 
     def queue_depth(self) -> int:
         """Current number of pending (not yet flushed) requests."""

@@ -4,11 +4,14 @@
 ``repro.obs`` compose into an *operational* surface: it enables the
 metrics registry, installs a :class:`~repro.obs.timeseries.TimeSeries`
 sink behind it, optionally turns on the structured event log with a
-JSONL sink, optionally binds the Prometheus scrape endpoint, and can run
-a periodic stderr dashboard printer — then tears all of it down in
-reverse order.  The CLI's ``serve --metrics-port / --stats-interval /
---events`` flags and ``stats --watch`` both go through here, so the two
-surfaces can never drift apart.
+JSONL sink, optionally installs a tail-sampled
+:class:`~repro.obs.tracestore.TraceStore` and records spans into it,
+optionally runs the :class:`~repro.obs.slo.SLOWatchdog`, optionally
+binds the Prometheus scrape endpoint, and can run a periodic stderr
+dashboard printer — then tears all of it down in reverse order.  The
+CLI's ``serve --metrics-port / --stats-interval / --events / --tracing
+/ --slo`` flags, ``repro trace`` and ``stats --watch`` all go through
+here, so the surfaces can never drift apart.
 
 Usage::
 
@@ -22,8 +25,8 @@ import sys
 import threading
 from typing import IO, Optional
 
-from ..obs import events, metrics
-from ..obs.promexport import MetricsServer
+from ..obs import events, metrics, slo as slo_mod, tracestore, tracing
+from ..obs.promexport import MetricsServer, validate_metric_name
 from ..obs.timeseries import TimeSeries, dashboard_line
 from .config import TelemetryConfig
 
@@ -33,11 +36,13 @@ __all__ = ["TelemetrySession"]
 class TelemetrySession:
     """Owns the setup and teardown of one process's live telemetry.
 
-    The session always enables metrics and installs a fresh
-    :class:`TimeSeries` (the windowed dashboards need both); the scrape
-    endpoint, event log and stats printer are opt-in via the
-    :class:`~repro.serve.config.TelemetryConfig` fields.  Idempotent
-    :meth:`close`; usable as a context manager.
+    The session always enables metrics, installs a fresh
+    :class:`TimeSeries` (the windowed dashboards need both) and installs
+    the exposition-grammar name validator on the registry, so a metric
+    name that could not be scraped fails at its call site; the scrape
+    endpoint, event log, trace store, SLO watchdog and stats printer are
+    opt-in via the :class:`~repro.serve.config.TelemetryConfig` fields.
+    Idempotent :meth:`close`; usable as a context manager.
     """
 
     def __init__(
@@ -52,22 +57,41 @@ class TelemetrySession:
         self.timeseries = TimeSeries()
         self.server: "Optional[MetricsServer]" = None
         self.event_log: "Optional[events.EventLog]" = None
+        self.tracestore: "Optional[tracestore.TraceStore]" = None
+        self.watchdog: "Optional[slo_mod.SLOWatchdog]" = None
+        self._degrade_target = None
+        self._prev_tracer = None
         self._stop = threading.Event()
         self._printer: "Optional[threading.Thread]" = None
         self._closed = False
 
-        metrics.enable()
+        registry = metrics.enable()
+        registry.set_name_validator(validate_metric_name)
         metrics.install_timeseries(self.timeseries)
         if self.config.events_path is not None:
             self.event_log = events.enable(
                 sink=self.config.events_path,
                 sample=self.config.events_sample,
             )
+        if self.config.tracing:
+            self.tracestore = tracestore.TraceStore(
+                capacity=self.config.trace_capacity
+            )
+            tracestore.install(self.tracestore)
+            self._prev_tracer = tracing.get_tracer()
+            tracing.enable(self.tracestore)
+        if self.config.slo:
+            self.watchdog = slo_mod.SLOWatchdog(
+                self.timeseries, on_change=self._on_slo_change
+            )
+            self.watchdog.start(self.config.slo_interval_s)
         if self.config.metrics_port is not None:
             self.server = MetricsServer(
                 host=self.config.metrics_host,
                 port=self.config.metrics_port,
                 timeseries=self.timeseries,
+                tracestore=self.tracestore,
+                watchdog=self.watchdog,
             ).start()
         if self.config.stats_interval_s > 0.0:
             self._printer = threading.Thread(
@@ -81,6 +105,20 @@ class TelemetrySession:
     def port(self) -> "Optional[int]":
         """The scrape endpoint's bound port (``None`` without one)."""
         return self.server.port if self.server is not None else None
+
+    def set_degrade_target(self, service) -> None:
+        """Let the SLO watchdog nudge ``service``'s degradation ladder.
+
+        ``service`` must expose ``set_degraded(bool)``
+        (:class:`~repro.serve.service.QueryService` does).  Only takes
+        effect when the config enables both ``slo`` and ``slo_degrade``.
+        """
+        self._degrade_target = service
+
+    def _on_slo_change(self, paging: bool) -> None:
+        target = self._degrade_target
+        if self.config.slo_degrade and target is not None:
+            target.set_degraded(paging)
 
     def dashboard_line(self, seconds: int = 10) -> str:
         """The current windowed dashboard line (see ``timeseries``)."""
@@ -104,10 +142,19 @@ class TelemetrySession:
             self._printer.join()
         if self.server is not None:
             self.server.close()
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            if self._degrade_target is not None and self.config.slo_degrade:
+                self._degrade_target.set_degraded(False)
+        if self.config.tracing:
+            tracing.disable()
+            tracing.set_tracer(self._prev_tracer)
+            tracestore.uninstall()
         if self.event_log is not None:
             events.disable()
             self.event_log.close()
         metrics.uninstall_timeseries()
+        metrics.get_registry().set_name_validator(None)
         if not self._was_enabled:
             metrics.disable()
 

@@ -1,0 +1,91 @@
+"""Cross-boundary span parenting in parallel cell construction.
+
+Thread-pool workers run in their own contextvars context; without the
+carrier hand-off their spans would surface as unrelated roots with no
+trace id.  These tests pin the contract: worker-side spans nest under
+``build.cells.parallel`` and inherit the submitting context's trace id,
+exactly like a serial build.
+"""
+
+import pytest
+
+from repro.core.candidates import SelectorKind
+from repro.core.nncell_index import BuildConfig, NNCellIndex
+from repro.data import uniform_points
+from repro.obs import tracectx, tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing_state():
+    tracing.disable()
+    yield
+    tracing.disable()
+
+
+def thread_build(points, **overrides):
+    config = BuildConfig(
+        selector=SelectorKind.NN_DIRECTION,
+        workers=2,
+        executor="thread",
+        **overrides,
+    )
+    return NNCellIndex.build(points, config)
+
+
+def collect(root, name):
+    found, stack = [], [root]
+    while stack:
+        node = stack.pop()
+        if node.name == name:
+            found.append(node)
+        stack.extend(node.children)
+    return found
+
+
+class TestThreadPoolSpanParenting:
+    def test_worker_spans_nest_under_the_parallel_root(self):
+        points = uniform_points(36, 3, seed=1)
+        with tracing.collecting() as tracer:
+            thread_build(points)
+        roots = tracer.find("build.cells.parallel")
+        assert len(roots) == 1
+        # Worker-side `build.chunk.compute` spans landed inside the
+        # parallel root's subtree, not as stray top-level roots.
+        nested = collect(roots[0], "build.chunk.compute")
+        assert nested
+        assert sum(s.attributes["n_points"] for s in nested) == (
+            points.shape[0]
+        )
+        top_level_strays = [
+            s for s in tracer.spans if s.name == "build.chunk.compute"
+        ]
+        assert top_level_strays == []
+
+    def test_worker_spans_inherit_the_bound_trace_id(self):
+        points = uniform_points(30, 3, seed=2)
+        with tracing.collecting() as tracer:
+            with tracectx.bind("beefc0de00000001"):
+                thread_build(points)
+        (root,) = tracer.find("build.cells.parallel")
+        assert root.attributes["trace_id"] == "beefc0de00000001"
+        chunks = collect(root, "build.chunk.compute")
+        assert chunks
+        assert all(
+            s.attributes["trace_id"] == "beefc0de00000001" for s in chunks
+        )
+
+    def test_parent_reemits_process_worker_accounting(self):
+        # Process workers cannot share a span tree; the parent re-emits
+        # one `build.worker_chunk` span per chunk instead.
+        points = uniform_points(24, 3, seed=3)
+        with tracing.collecting() as tracer:
+            NNCellIndex.build(
+                points,
+                BuildConfig(
+                    selector=SelectorKind.NN_DIRECTION, workers=2
+                ),
+            )
+        (root,) = tracer.find("build.cells.parallel")
+        chunks = collect(root, "build.worker_chunk")
+        assert chunks
+        assert all("lp_calls" in c.attributes for c in chunks)

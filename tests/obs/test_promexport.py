@@ -8,10 +8,12 @@ import pytest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.promexport import (
     CONTENT_TYPE,
+    ExpositionNameError,
     MetricsServer,
     metric_name,
     parse_exposition,
     render_prometheus,
+    validate_metric_name,
 )
 from repro.obs.timeseries import DEFAULT_WINDOWS, TimeSeries
 
@@ -127,3 +129,144 @@ class TestMetricsServer:
         server = MetricsServer(registry=registry).start()
         server.close()
         server.close()
+
+
+class TestValidateMetricName:
+    @pytest.mark.parametrize("name", [
+        "serve.latency_ms", "build_total", "lp:solve", "a1.b2_c3",
+    ])
+    def test_accepts_exposable_names(self, name):
+        validate_metric_name(name)  # no exception
+
+    @pytest.mark.parametrize("name,reason_match", [
+        ("", "non-empty"),
+        (None, "non-empty"),
+        ("serve latency", "offending characters"),
+        ("café.latency", "offending characters"),
+        ("9lives", "exposition grammar"),
+        ("_.reserved", "reserved"),
+        ("__internal", "reserved"),
+    ])
+    def test_rejects_unexposable_names(self, name, reason_match):
+        with pytest.raises(ExpositionNameError, match=reason_match):
+            validate_metric_name(name)
+
+    def test_error_carries_name_and_reason(self):
+        with pytest.raises(ExpositionNameError) as err:
+            validate_metric_name("bad name")
+        assert err.value.name == "bad name"
+        assert "bad name" in str(err.value)
+        assert isinstance(err.value, ValueError)
+
+
+class TestRegistryValidator:
+    def test_typo_fails_at_registration_time(self):
+        reg = MetricsRegistry()
+        reg.set_name_validator(validate_metric_name)
+        with pytest.raises(ExpositionNameError):
+            reg.inc("serve latency")
+        with pytest.raises(ExpositionNameError):
+            reg.observe("café.ms", 1.0)
+        with pytest.raises(ExpositionNameError):
+            reg.set_gauge("9lives", 1.0)
+        reg.inc("serve.ok")  # valid names still register
+
+    def test_installing_validator_revalidates_existing_names(self):
+        reg = MetricsRegistry()
+        reg.inc("bad name")
+        with pytest.raises(ExpositionNameError):
+            reg.set_name_validator(validate_metric_name)
+
+    def test_validator_can_be_removed(self):
+        reg = MetricsRegistry()
+        reg.set_name_validator(validate_metric_name)
+        reg.set_name_validator(None)
+        reg.inc("anything goes")  # back to permissive
+
+
+class TestTraceEndpoint:
+    def _store_with_request(self):
+        from repro.obs.tracestore import StoredTrace, TraceStore
+        from repro.obs.tracing import Span
+
+        root = Span("serve.request")
+        root.start, root.end = 0.0, 0.005
+        child = Span("serve.queue_wait")
+        child.start, child.end = 0.0, 0.002
+        root.children.append(child)
+        store = TraceStore()
+        store.add_trace(StoredTrace(
+            trace_id="deadbeef00000001", root=root, kind="request",
+            ts=0.0, duration_ms=5.0,
+        ))
+        return store
+
+    def test_trace_lookup_serves_critical_path_and_tree(self, registry):
+        store = self._store_with_request()
+        with MetricsServer(registry=registry, tracestore=store) as server:
+            status, __, body = _get(
+                f"http://{server.host}:{server.port}"
+                "/trace/deadbeef00000001"
+            )
+        assert status == 200
+        document = json.loads(body)
+        assert document["trace_id"] == "deadbeef00000001"
+        assert document["critical_path"]["stages"]["queue_wait"] == 2.0
+        assert document["root"]["name"] == "serve.request"
+
+    def test_unknown_trace_is_404(self, registry):
+        store = self._store_with_request()
+        with MetricsServer(registry=registry, tracestore=store) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{server.host}:{server.port}/trace/nope")
+            assert err.value.code == 404
+
+    def test_trace_endpoint_without_store_is_404(self, registry):
+        with MetricsServer(registry=registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{server.host}:{server.port}/trace/any")
+            assert err.value.code == 404
+
+    def test_telemetry_reports_trace_retention(self, registry):
+        store = self._store_with_request()
+        with MetricsServer(registry=registry, tracestore=store) as server:
+            __, __, body = _get(
+                f"http://{server.host}:{server.port}/telemetry"
+            )
+        document = json.loads(body)
+        assert document["traces"] == {
+            "stored": 1, "added": 1, "dropped": 0,
+        }
+
+
+class TestWatchdogWiring:
+    def test_healthz_pages_as_503(self, registry):
+        from repro.obs.slo import SLO, SLOWatchdog
+
+        ts = TimeSeries()
+        for __ in range(20):
+            ts.observe("serve.latency_ms", 500.0)
+        dog = SLOWatchdog(ts, slos=[SLO(
+            name="latency_p99", kind="latency", budget=0.01,
+            threshold_ms=50.0,
+        )])
+        dog.evaluate()
+        assert dog.paging
+        with MetricsServer(registry=registry, watchdog=dog) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{server.host}:{server.port}/healthz")
+            assert err.value.code == 503
+
+    def test_telemetry_carries_slo_status(self, registry):
+        from repro.obs.slo import SLOWatchdog
+
+        ts = TimeSeries()
+        dog = SLOWatchdog(ts)
+        dog.evaluate()
+        with MetricsServer(registry=registry, watchdog=dog) as server:
+            __, __, body = _get(
+                f"http://{server.host}:{server.port}/telemetry"
+            )
+        document = json.loads(body)
+        assert document["slo"]["state"] == "ok"
+        assert len(document["slo"]["objectives"]) == 3

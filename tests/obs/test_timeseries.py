@@ -211,3 +211,78 @@ class TestWindowSnapshot:
         snapshot = ts.window(10)
         assert snapshot.total("serve.none", default=-1.0) == -1.0
         assert snapshot.count("serve.none", default=-2) == -2
+
+
+class TestExemplars:
+    def test_observation_with_trace_id_becomes_exemplar(self, ts):
+        ts.observe("serve.latency_ms", 12.0, trace_id="t1")
+        window = ts.window(10).get("serve.latency_ms")
+        assert window.exemplars() == [(12.0, "t1")]
+
+    def test_keeps_the_largest_traced_observations(self, ts):
+        for i, value in enumerate([5.0, 50.0, 1.0, 30.0, 40.0, 20.0]):
+            ts.observe("serve.latency_ms", value, trace_id=f"t{i}")
+        window = ts.window(10).get("serve.latency_ms")
+        values = [v for v, __ in window.exemplars()]
+        assert values == [50.0, 40.0, 30.0, 20.0]  # top-4, descending
+
+    def test_untraced_observations_leave_no_exemplar(self, ts):
+        ts.observe("serve.latency_ms", 99.0)
+        ts.observe("serve.latency_ms", 1.0, trace_id="slowish")
+        window = ts.window(10).get("serve.latency_ms")
+        assert window.exemplars() == [(1.0, "slowish")]
+
+    def test_exemplars_merge_across_buckets(self, ts, clock):
+        ts.observe("serve.latency_ms", 10.0, trace_id="a")
+        clock.now += 2.0
+        ts.observe("serve.latency_ms", 30.0, trace_id="b")
+        window = ts.window(10).get("serve.latency_ms")
+        assert [t for __, t in window.exemplars()] == ["b", "a"]
+
+    def test_summary_surfaces_exemplars_for_histograms(self, ts):
+        ts.observe("serve.latency_ms", 25.0, trace_id="xyz")
+        summary = ts.window(10).get("serve.latency_ms").summary()
+        assert summary["exemplars"] == [
+            {"value": 25.0, "trace_id": "xyz"}
+        ]
+
+    def test_summary_omits_exemplars_when_none(self, ts):
+        ts.observe("serve.latency_ms", 25.0)
+        summary = ts.window(10).get("serve.latency_ms").summary()
+        assert "exemplars" not in summary
+
+
+class TestFractionAbove:
+    def test_counts_strictly_above_threshold(self, ts):
+        for value in (10.0, 20.0, 60.0, 80.0):
+            ts.observe("serve.latency_ms", value)
+        window = ts.window(10).get("serve.latency_ms")
+        assert window.fraction_above(50.0) == pytest.approx(0.5)
+        assert window.fraction_above(100.0) == 0.0
+
+    def test_empty_window_reports_zero(self, ts):
+        ts.observe("serve.latency_ms", 1.0)
+        window = ts.window(10).get("serve.latency_ms")
+        # Sanity: a metric absent from the snapshot entirely.
+        assert ts.window(10).get("serve.other") is None
+        assert window.fraction_above(0.5) == pytest.approx(1.0)
+
+
+class TestEmptyRendering:
+    """Pre-traffic surfaces must render, not crash (the dashboard and
+    the scrape endpoint can come up before the first request)."""
+
+    def test_telemetry_table_renders_with_no_buckets(self, ts):
+        text = telemetry_table(ts).render()
+        assert "1s" in text and "60s" in text
+
+    def test_dashboard_line_renders_with_no_buckets(self, ts):
+        line = dashboard_line(ts)
+        assert "qps" in line
+
+    def test_summary_of_empty_histogram_window(self, ts, clock):
+        ts.observe("serve.latency_ms", 5.0)
+        clock.now += 30.0  # the only bucket ages out of the 10s window
+        snapshot = ts.window(10)
+        assert snapshot.get("serve.latency_ms") is None
+        assert snapshot.as_dict() == {}

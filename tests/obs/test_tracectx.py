@@ -1,0 +1,83 @@
+"""Trace identity: minting, binding, nesting, thread isolation."""
+
+import re
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import tracectx
+from repro.obs.tracectx import bind, current_trace_id, new_trace_id
+
+
+class TestMinting:
+    def test_ids_are_16_hex_chars(self):
+        for _ in range(50):
+            assert re.fullmatch(r"[0-9a-f]{16}", new_trace_id())
+
+    def test_ids_are_distinct(self):
+        ids = {new_trace_id() for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_concurrent_minting_is_safe_and_unique(self):
+        out = []
+        lock = threading.Lock()
+
+        def mint():
+            ids = [new_trace_id() for _ in range(100)]
+            with lock:
+                out.extend(ids)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == len(out) == 800
+
+
+class TestBinding:
+    def test_unbound_by_default(self):
+        assert current_trace_id() is None
+
+    def test_bind_sets_and_restores(self):
+        with bind("abc123") as bound:
+            assert bound == "abc123"
+            assert current_trace_id() == "abc123"
+        assert current_trace_id() is None
+
+    def test_nested_binds_shadow_and_restore(self):
+        with bind("outer"):
+            with bind("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+
+    def test_bind_none_clears_for_the_block(self):
+        with bind("outer"):
+            with bind(None):
+                assert current_trace_id() is None
+            assert current_trace_id() == "outer"
+
+    def test_restores_on_exception(self):
+        try:
+            with bind("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace_id() is None
+
+    def test_threads_hold_independent_identities(self):
+        seen = {}
+
+        def job(i):
+            with bind(f"trace-{i}"):
+                seen[i] = current_trace_id()
+                return current_trace_id()
+
+        with bind("main-trace"):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = [f.result()
+                           for f in [pool.submit(job, i) for i in range(4)]]
+            assert current_trace_id() == "main-trace"
+        assert results == [f"trace-{i}" for i in range(4)]
+
+    def test_module_reexports(self):
+        assert tracectx.current_trace_id is current_trace_id

@@ -5,8 +5,16 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
-from repro.obs import tracing
-from repro.obs.tracing import Span, Tracer, _NOOP, current_span, span, traced
+from repro.obs import tracectx, tracing
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    _NOOP,
+    carrier,
+    current_span,
+    span,
+    traced,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -136,6 +144,94 @@ class TestEnabledMode:
         assert names == ["job0", "job1", "job2", "job3", "main"]
         (main,) = [s for s in tracer.spans if s.name == "main"]
         assert main.children == []
+
+
+class TestTraceIdentityStamping:
+    def test_span_carries_bound_trace_id(self):
+        tracer = tracing.enable(Tracer())
+        with tracectx.bind("feedbead00000001"):
+            with span("query.nearest"):
+                pass
+        assert tracer.spans[0].attributes["trace_id"] == "feedbead00000001"
+
+    def test_explicit_trace_id_attribute_wins(self):
+        tracer = tracing.enable(Tracer())
+        with tracectx.bind("context-id"):
+            with span("serve.flush", trace_id="explicit-id"):
+                pass
+        assert tracer.spans[0].attributes["trace_id"] == "explicit-id"
+
+    def test_unbound_context_leaves_spans_unstamped(self):
+        tracer = tracing.enable(Tracer())
+        with span("query.nearest"):
+            pass
+        assert "trace_id" not in tracer.spans[0].attributes
+
+
+class TestTraceCarrier:
+    def test_worker_spans_parent_under_the_submitting_span(self):
+        tracer = tracing.enable(Tracer())
+        with span("build.cells.parallel") as root:
+            ctx = carrier()
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                def chunk(i):
+                    with span(f"chunk{i}"):
+                        pass
+
+                for f in [pool.submit(ctx.call, chunk, i) for i in range(3)]:
+                    f.result()
+        (collected,) = tracer.spans
+        assert collected is root
+        assert sorted(c.name for c in root.children) == [
+            "chunk0", "chunk1", "chunk2"
+        ]
+
+    def test_worker_spans_carry_the_submitting_trace_id(self):
+        tracer = tracing.enable(Tracer())
+        with tracectx.bind("cafe000000000001"):
+            with span("build.cells.parallel"):
+                ctx = carrier()
+                with ThreadPoolExecutor(max_workers=1) as pool:
+                    pool.submit(
+                        ctx.call, lambda: span("worker").__enter__().__exit__()
+                    ).result()
+        (root,) = tracer.spans
+        (worker,) = root.children
+        assert worker.attributes["trace_id"] == "cafe000000000001"
+
+    def test_worker_context_is_restored_after_the_call(self):
+        tracing.enable(Tracer())
+        outcomes = {}
+        with tracectx.bind("the-request"):
+            with span("root"):
+                ctx = carrier()
+
+        def probe():
+            ctx.call(lambda: None)
+            # Outside the carrier scope the worker thread is unbound
+            # again: the carrier must not leak context.
+            outcomes["trace"] = tracectx.current_trace_id()
+            outcomes["span"] = current_span()
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(probe).result()
+        assert outcomes["trace"] is None
+        assert outcomes["span"] is _NOOP
+
+    def test_carrier_with_tracing_disabled_still_moves_trace_id(self):
+        with tracectx.bind("id-without-spans"):
+            ctx = carrier()
+        assert ctx.parent is None
+        seen = []
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(
+                ctx.call, lambda: seen.append(tracectx.current_trace_id())
+            ).result()
+        assert seen == ["id-without-spans"]
+
+    def test_carrier_return_value_passthrough(self):
+        ctx = carrier()
+        assert ctx.call(lambda a, b=0: a + b, 2, b=3) == 5
 
 
 class TestCollecting:

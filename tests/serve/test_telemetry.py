@@ -160,3 +160,41 @@ class TestWindowedStatsAgainstGroundTruth:
             )
             snapshot = session.timeseries.window(60)
         assert snapshot.get("serve.queue.depth") is not None
+
+
+class TestTracingAndSLOConfig:
+    def test_tracing_and_slo_activate_the_session(self):
+        assert TelemetryConfig(tracing=True).active
+        assert TelemetryConfig(slo=True).active
+
+    def test_validation_of_new_knobs(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(trace_capacity=0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(slo_interval_s=0.0)
+
+    def test_session_installs_and_restores_trace_state(self):
+        from repro.obs import tracestore, tracing
+
+        assert tracestore.get_store() is None
+        with TelemetrySession(TelemetryConfig(tracing=True)) as session:
+            assert tracing.enabled()
+            assert tracestore.get_store() is session.tracestore
+            assert tracing.get_tracer() is session.tracestore
+        assert not tracing.enabled()
+        assert tracestore.get_store() is None
+
+    def test_session_registry_rejects_unexposable_metric_names(self):
+        from repro.obs.promexport import ExpositionNameError
+
+        with TelemetrySession():
+            with pytest.raises(ExpositionNameError):
+                metrics.inc("bad metric name")
+        # Validator removed on close: permissive again.
+        metrics.enable()
+        metrics.inc("bad metric name")
+
+    def test_trace_capacity_is_honoured(self):
+        config = TelemetryConfig(tracing=True, trace_capacity=7)
+        with TelemetrySession(config) as session:
+            assert session.tracestore.capacity == 7

@@ -538,3 +538,209 @@ class TestExperimentCommand:
         )
         assert code == 0
         assert "Figure 13" in stdout
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out),
+        )
+        assert code == 0
+        return out
+
+    def test_top_renders_stage_attribution_table(self, index_path, capsys):
+        code, stdout, __ = run(
+            capsys, "trace", str(index_path), "top",
+            "--queries", "20", "--threads", "2", "--limit", "5",
+        )
+        assert code == 0
+        assert "Slowest requests" in stdout
+        for column in ("trace_id", "total_ms", "coverage", "queue_ms",
+                       "walk_ms", "deliver_ms"):
+            assert column in stdout
+        assert "20 queries" in stdout
+
+    def test_show_prints_span_tree_and_critical_path(
+        self, index_path, capsys
+    ):
+        code, stdout, __ = run(
+            capsys, "trace", str(index_path), "show", "--queries", "10",
+        )
+        assert code == 0
+        assert "critical path (coverage" in stdout
+        assert "serve.request" in stdout
+        assert "serve.queue_wait" in stdout
+        assert "queue_wait" in stdout
+
+    def test_show_unknown_trace_id_fails_cleanly(self, index_path, capsys):
+        code, __, stderr = run(
+            capsys, "trace", str(index_path), "show",
+            "--queries", "5", "--trace-id", "doesnotexist",
+        )
+        assert code == 1
+        assert "no stored trace" in stderr
+
+    def test_export_writes_chrome_trace_json(
+        self, index_path, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "trace.json"
+        code, __, stderr = run(
+            capsys, "trace", str(index_path), "export",
+            "--queries", "10", "--out", str(out),
+        )
+        assert code == 0
+        assert "trace events written" in stderr
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert phases == {"M", "X"}
+        names = {e.get("name") for e in document["traceEvents"]}
+        assert "serve.request" in names
+        assert "serve.flush" in names
+
+    def test_export_to_stdout(self, index_path, capsys):
+        import json
+
+        code, stdout, __ = run(
+            capsys, "trace", str(index_path), "export", "--queries", "5",
+        )
+        assert code == 0
+        assert json.loads(stdout)["traceEvents"]
+
+    def test_export_missing_parent_dir_fails_before_load(
+        self, index_path, tmp_path, capsys
+    ):
+        code, __, stderr = run(
+            capsys, "trace", str(index_path), "export",
+            "--queries", "5", "--out", str(tmp_path / "nope" / "t.json"),
+        )
+        assert code == 1
+        assert "does not exist" in stderr
+
+
+class TestWatchAndServeTracing:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "20",
+            "--dim", "3", "--out", str(out))
+        return out
+
+    def test_watch_renders_with_empty_workload(self, index_path, capsys):
+        # Regression: --queries 0 used to divide by zero before the
+        # first render; it must idle and still print all-zero windows.
+        code, stdout, __ = run(
+            capsys, "stats", str(index_path), "--watch",
+            "--queries", "0", "--duration", "0.4", "--interval", "0.1",
+        )
+        assert code == 0
+        assert "Live telemetry (0 queries)" in stdout
+
+    def test_watch_rejects_negative_queries(self, index_path, capsys):
+        code, __, stderr = run(
+            capsys, "stats", str(index_path), "--watch", "--queries", "-1",
+            "--duration", "0.1",
+        )
+        assert code == 1
+        assert "--queries" in stderr
+
+    def test_explain_echoes_a_trace_id(self, index_path, capsys):
+        import re
+
+        code, stdout, __ = run(
+            capsys, "explain", str(index_path), "--point", "0.5,0.5,0.5",
+        )
+        assert code == 0
+        match = re.search(r"^trace: ([0-9a-f]{16})$", stdout, re.M)
+        assert match
+
+    def test_explain_json_carries_the_trace_id(self, index_path, capsys):
+        import json
+        import re
+
+        code, stdout, __ = run(
+            capsys, "explain", str(index_path),
+            "--point", "0.5,0.5,0.5", "--json",
+        )
+        assert code == 0
+        document = json.loads(stdout)
+        assert re.fullmatch(r"[0-9a-f]{16}", document["trace_id"])
+
+
+class TestServeTracingProtocol:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "30",
+            "--dim", "3", "--out", str(out))
+        return out
+
+    def serve(self, monkeypatch, capsys, index_path, stdin_text, *flags):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code, stdout, stderr = run(capsys, "serve", str(index_path), *flags)
+        responses = [json.loads(line) for line in stdout.splitlines()]
+        return code, responses, stderr
+
+    def test_every_response_echoes_a_distinct_trace_id(
+        self, monkeypatch, capsys, index_path
+    ):
+        import re
+
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.5, 0.5, 0.5]\n[0.2, 0.2, 0.2]\n[0.8, 0.8, 0.8]\n",
+            "--tracing",
+        )
+        assert code == 0
+        ids = [r["trace_id"] for r in responses]
+        assert all(re.fullmatch(r"[0-9a-f]{16}", tid) for tid in ids)
+        assert len(set(ids)) == 3
+
+    def test_trace_id_flows_without_the_tracing_flag(
+        self, monkeypatch, capsys, index_path
+    ):
+        # Identity is unconditional; --tracing only adds the recording.
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path, "[0.5, 0.5, 0.5]\n",
+        )
+        assert code == 0
+        assert len(responses[0]["trace_id"]) == 16
+
+    def test_event_log_records_join_on_trace_ids(
+        self, monkeypatch, capsys, index_path, tmp_path
+    ):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.3, 0.3, 0.3]\n",
+            "--tracing", "--events", str(events_path),
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        flushes = [r for r in records if r["kind"] == "flush"]
+        assert flushes
+        assert all("trace_id" in r for r in flushes)
+
+    def test_slo_flag_serves_and_answers(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.5, 0.5, 0.5]\n", "--tracing", "--slo", "--slo-degrade",
+        )
+        assert code == 0
+        assert responses[0]["ok"]
+        assert responses[0]["trace_id"]

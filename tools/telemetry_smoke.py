@@ -15,7 +15,17 @@ End-to-end sanity of the telemetry surfaces on a real serving process:
 4. fetch ``/telemetry`` and assert the standard windows carry the
    traffic; fetch ``/healthz``;
 5. close stdin, read both responses in input order, and assert the
-   explain echo agrees with the served answer.
+   explain echo agrees with the served answer;
+6. relaunch with ``--tracing --slo`` and drive 200 queries: every
+   response must carry a distinct well-formed ``trace_id``, the 60s
+   latency window must surface exemplars, and **every** exemplar must
+   resolve through ``GET /trace/<id>`` to a stored trace whose
+   critical path covers >= 95% of the request;
+7. assert the SLO watchdog did not page under that healthy load
+   (``/healthz`` stays ``ok``);
+8. run ``python -m repro trace <idx> export`` and validate the Chrome
+   trace-event JSON it writes (only ``M``/``X`` phases, non-negative
+   microsecond timings, ``serve.request`` spans present).
 
 Exits non-zero with a message on any violation.  Also runnable
 locally::
@@ -47,6 +57,12 @@ from repro.obs.timeseries import DEFAULT_WINDOWS  # noqa: E402
 _ENDPOINT = re.compile(
     r"metrics endpoint: (http://127\.0\.0\.1:\d+)/metrics"
 )
+_TRACE_ID = re.compile(r"^[0-9a-f]{16}$")
+
+#: Traced-leg workload: enough traffic that the tail sampler has real
+#: slowest-N displacement to do, small enough to stay well inside the
+#: stdout pipe buffer before the drain.
+N_TRACE_QUERIES = 200
 
 
 def check(condition: bool, message: str) -> None:
@@ -73,18 +89,21 @@ def _env() -> "dict[str, str]":
     return env
 
 
-def main() -> int:
-    workdir = Path(tempfile.mkdtemp(prefix="telemetry-smoke-"))
-    index = build_index(workdir)
+def launch_serve(
+    index: Path, extra: "list[str] | None" = None
+) -> "tuple[subprocess.Popen, str, threading.Thread]":
+    """Start ``repro serve --metrics-port 0`` and wait for the scrape
+    endpoint announcement; returns ``(proc, base_url, stderr_reader)``.
 
+    Stderr is drained on a thread: the endpoint announcement arrives
+    before any response, and an unread pipe would deadlock shutdown.
+    """
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", str(index),
-         "--metrics-port", "0"],
+         "--metrics-port", "0", *(extra or [])],
         stdin=subprocess.PIPE, stdout=subprocess.PIPE,
         stderr=subprocess.PIPE, text=True, env=_env(),
     )
-    # Drain stderr on a thread: the endpoint announcement arrives
-    # before any response, and an unread pipe would deadlock shutdown.
     stderr_lines: "list[str]" = []
     announced = threading.Event()
 
@@ -97,17 +116,28 @@ def main() -> int:
 
     reader = threading.Thread(target=read_stderr, daemon=True)
     reader.start()
+    check(announced.wait(timeout=30.0), "no metrics endpoint announced")
+    match = next(
+        (m for line in stderr_lines for m in [_ENDPOINT.search(line)]
+         if m),
+        None,
+    )
+    check(match is not None,
+          f"endpoint line not found in stderr: {stderr_lines}")
+    return proc, match.group(1), reader
 
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode())
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="telemetry-smoke-"))
+    index = build_index(workdir)
+
+    proc, base_url, reader = launch_serve(index)
     try:
-        check(announced.wait(timeout=30.0), "no metrics endpoint announced")
-        match = next(
-            (m for line in stderr_lines for m in [_ENDPOINT.search(line)]
-             if m),
-            None,
-        )
-        check(match is not None,
-              f"endpoint line not found in stderr: {stderr_lines}")
-        base_url = match.group(1)
         print(f"serve up, scrape endpoint at {base_url}/metrics")
 
         # --- submit traffic: one plain + one explain request ----------
@@ -183,8 +213,121 @@ def main() -> int:
             proc.wait()
         reader.join(timeout=5)
 
+    trace_leg(index)
+    export_leg(index, workdir)
+
     print("telemetry smoke OK")
     return 0
+
+
+def trace_leg(index: Path) -> None:
+    """Serve with ``--tracing --slo``: identity on every response, and
+    every surfaced tail exemplar resolves to a stored trace with a
+    >= 95%-coverage critical path."""
+    proc, base_url, reader = launch_serve(index, ["--tracing", "--slo"])
+    try:
+        print(f"trace leg up at {base_url}, driving "
+              f"{N_TRACE_QUERIES} queries")
+        for i in range(N_TRACE_QUERIES):
+            t = (i + 0.5) / N_TRACE_QUERIES
+            proc.stdin.write(json.dumps([t, 1.0 - t, 0.5]) + "\n")
+        proc.stdin.flush()
+
+        # Wait for the whole workload to land in the 60s window, then
+        # take one consistent /telemetry snapshot to resolve against.
+        deadline = time.monotonic() + 60.0
+        document: dict = {}
+        window: dict = {}
+        while time.monotonic() < deadline:
+            document = get_json(f"{base_url}/telemetry")
+            window = document["windows"]["60"].get("serve.latency_ms", {})
+            if window.get("count", 0) >= N_TRACE_QUERIES:
+                break
+            time.sleep(0.1)
+        check(window.get("count", 0) >= N_TRACE_QUERIES,
+              f"60s window missed the traced traffic: {window}")
+
+        # --- every exemplar resolves with critical-path coverage ------
+        exemplars = window.get("exemplars", [])
+        check(len(exemplars) > 0,
+              "no latency exemplars surfaced under tracing")
+        for exemplar in exemplars:
+            trace_id = exemplar.get("trace_id", "")
+            check(bool(_TRACE_ID.match(trace_id)),
+                  f"malformed exemplar trace id: {exemplar}")
+            trace_doc = get_json(f"{base_url}/trace/{trace_id}")
+            check(trace_doc.get("trace_id") == trace_id,
+                  f"/trace/{trace_id} returned {trace_doc.get('trace_id')}")
+            path = trace_doc.get("critical_path", {})
+            coverage = path.get("coverage", 0.0)
+            check(coverage >= 0.95,
+                  f"critical-path coverage {coverage} < 0.95 for"
+                  f" {trace_id}: {path}")
+        retention = document.get("traces", {})
+        check(retention.get("stored", 0) > 0,
+              f"trace store retained nothing: {retention}")
+        print(f"exemplars OK: {len(exemplars)} resolved via /trace/<id>,"
+              f" store retains {retention['stored']} traces")
+
+        # --- SLO watchdog: healthy load must not page -----------------
+        slo = document.get("slo", {})
+        check(slo.get("state") in ("ok", "warn"),
+              f"watchdog escalated under healthy load: {slo}")
+        with urllib.request.urlopen(
+            f"{base_url}/healthz", timeout=10
+        ) as response:
+            check(response.read() == b"ok\n",
+                  "healthz not ok under healthy load")
+
+        # --- drain: every response carries a distinct trace id --------
+        proc.stdin.close()
+        seen: "set[str]" = set()
+        for i in range(N_TRACE_QUERIES):
+            response = json.loads(proc.stdout.readline())
+            check(response.get("ok") is True,
+                  f"traced query {i} failed: {response}")
+            trace_id = response.get("trace_id", "")
+            check(bool(_TRACE_ID.match(trace_id)),
+                  f"response {i} lacks a well-formed trace id: {response}")
+            seen.add(trace_id)
+        check(len(seen) == N_TRACE_QUERIES,
+              f"trace ids not distinct: {len(seen)}/{N_TRACE_QUERIES}")
+        check(proc.wait(timeout=30) == 0,
+              f"traced serve exited with {proc.returncode}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        reader.join(timeout=5)
+    print(f"trace leg OK: {N_TRACE_QUERIES} distinct trace ids echoed")
+
+
+def export_leg(index: Path, workdir: Path) -> None:
+    """``repro trace export`` emits loadable Chrome trace-event JSON."""
+    out = workdir / "trace.json"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", str(index), "export",
+         "--queries", "50", "--out", str(out)],
+        env=_env(), capture_output=True, text=True,
+    )
+    check(result.returncode == 0,
+          f"trace export failed ({result.returncode}):"
+          f" {result.stderr[-500:]}")
+    document = json.loads(out.read_text())
+    trace_events = document.get("traceEvents", [])
+    check(len(trace_events) > 0, "Chrome trace export is empty")
+    phases = {event.get("ph") for event in trace_events}
+    check(phases <= {"M", "X"},
+          f"unexpected trace-event phases: {sorted(map(str, phases))}")
+    names = {e.get("name") for e in trace_events if e.get("ph") == "X"}
+    check("serve.request" in names,
+          f"no serve.request spans in export: {sorted(names)[:8]}")
+    for event in trace_events:
+        if event.get("ph") == "X":
+            check(event.get("ts", -1) >= 0 and event.get("dur", -1) >= 0,
+                  f"negative timing in trace event: {event}")
+    print(f"export leg OK: {len(trace_events)} Chrome trace events,"
+          f" {len(names)} span names")
 
 
 if __name__ == "__main__":
