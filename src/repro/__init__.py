@@ -40,10 +40,13 @@ from .core import (
     cell_system,
     decompose_cell,
     expected_candidates,
+    load_any_index,
     load_index,
+    load_sharded_index,
     measured_overlap,
     quality_to_performance,
     save_index,
+    save_sharded_index,
     sphere_radius,
 )
 from .data import (
@@ -69,6 +72,7 @@ from .index import (
 from . import obs
 from .engine import BatchQueryInfo
 from .serve import QueryResult, QueryService, ServeConfig
+from .shard import ShardConfig, ShardedNNCellIndex
 from .storage import AccessStats, PageManager
 
 __version__ = "1.0.0"
@@ -93,6 +97,8 @@ __all__ = [
     "ServeConfig",
     "SelectorKind",
     "SelectorParams",
+    "ShardConfig",
+    "ShardedNNCellIndex",
     "WeightedNNCellIndex",
     "XTree",
     "approximate_cell",
@@ -106,11 +112,14 @@ __all__ = [
     "grid_points",
     "hs_k_nearest",
     "hs_nearest",
+    "load_any_index",
     "load_index",
+    "load_sharded_index",
     "make_dataset",
     "measured_overlap",
     "obs",
     "save_index",
+    "save_sharded_index",
     "quality_to_performance",
     "query_points",
     "rkv_nearest",

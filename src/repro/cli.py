@@ -63,7 +63,12 @@ import numpy as np
 from .core.candidates import SelectorKind, SelectorParams
 from .core.decomposition import DecompositionConfig
 from .core.nncell_index import BuildConfig, NNCellIndex
-from .core.persistence import load_index, save_index
+from .core.persistence import (
+    is_sharded_archive,
+    load_any_index,
+    save_index,
+    save_sharded_index,
+)
 from .data.registry import dataset_names, make_dataset
 from .data.synthetic import query_points
 from .eval import experiments as experiments_module
@@ -82,6 +87,7 @@ from .serve import (
     TelemetryConfig,
     TelemetrySession,
 )
+from .shard import PARTITIONER_KINDS, ShardConfig, ShardedNNCellIndex
 
 __all__ = ["main"]
 
@@ -145,8 +151,15 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--executor", choices=["process", "thread"],
                        default="process",
                        help="worker pool kind for --workers > 1")
+    build.add_argument("--shards", type=int, default=0,
+                       help="partition the index across N shards"
+                            " (0 = unsharded; see docs/sharding.md)")
+    build.add_argument("--partitioner", choices=list(PARTITIONER_KINDS),
+                       default="hash",
+                       help="point-to-shard routing policy (with --shards)")
     build.add_argument("--out", type=Path, required=True,
-                       help="output .npz archive")
+                       help="output .npz archive (a directory with"
+                            " --shards)")
     _add_profile_argument(build)
     build.set_defaults(handler=_cmd_build)
 
@@ -176,6 +189,10 @@ def _build_parser() -> argparse.ArgumentParser:
              " (JSON lines on stdin/stdout)",
     )
     serve.add_argument("index", type=Path)
+    serve.add_argument("--shards", type=int, default=0,
+                       help="re-shard an unsharded archive across N"
+                            " shards at startup (sharded archives load"
+                            " with their built shard count)")
     serve.add_argument("--max-batch-size", type=int, default=32,
                        help="most queries one flush may coalesce")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -364,18 +381,36 @@ def _cmd_build(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
     )
+    if args.shards < 0:
+        raise ValueError("--shards must be >= 0 (0 means unsharded)")
     with _profiled(args.profile, command="build",
                    selector=args.selector,
                    workers=args.workers,
+                   shards=args.shards,
                    n_points=int(points.shape[0]),
                    dim=int(points.shape[1])):
-        index = NNCellIndex.build(points, config)
-    save_index(index, args.out)
+        if args.shards:
+            index = ShardedNNCellIndex.build(
+                points,
+                ShardConfig(
+                    n_shards=args.shards, partitioner=args.partitioner
+                ),
+                config,
+            )
+        else:
+            index = NNCellIndex.build(points, config)
+    if args.shards:
+        save_sharded_index(index, args.out)
+    else:
+        save_index(index, args.out)
     stats = index.stats()
     print(
         f"built index over {int(stats['n_points'])} points "
         f"({int(stats['n_rectangles'])} rectangles) -> {args.out}"
     )
+    if args.shards:
+        sizes = ", ".join(str(s) for s in index.shard_sizes())
+        print(f"shards ({args.partitioner} partitioner): [{sizes}]")
     _print_stats(stats, "Build statistics")
     return 0
 
@@ -396,7 +431,7 @@ def _load_points(path: Path) -> np.ndarray:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_any_index(args.index)
     if args.batch is not None:
         return _query_batch_file(args, index)
     point = _parse_point(args.point, index.dim)
@@ -560,7 +595,21 @@ def _serve_telemetry(args: argparse.Namespace) -> "TelemetrySession | None":
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_any_index(args.index)
+    if args.shards:
+        if isinstance(index, ShardedNNCellIndex):
+            if index.n_shards != args.shards:
+                raise ValueError(
+                    f"archive is sharded {index.n_shards} ways; --shards"
+                    f" {args.shards} conflicts (omit --shards to serve a"
+                    " sharded archive as built)"
+                )
+        else:
+            # Re-shard in memory: partition the live points and rebuild
+            # per-shard solution spaces.  Ids compact to the live order.
+            index = ShardedNNCellIndex.from_index(
+                index, ShardConfig(n_shards=args.shards)
+            )
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
@@ -657,7 +706,7 @@ _EXPLAIN_PRINT_LIMIT = 10
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_any_index(args.index)
     point = _parse_point(args.point, index.dim)
     # Explain is a one-request workflow: mint and bind a trace id so any
     # span/event the traversal records is attributed, and echo the id so
@@ -698,17 +747,24 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_any_index(args.index)
     print(f"index: {args.index}")
     print(f"  selector:       {index.config.selector.value}")
     print(f"  decomposed:     {index.config.decompose}")
     print(f"  dimensionality: {index.dim}")
+    if is_sharded_archive(args.index):
+        sizes = ", ".join(str(s) for s in index.shard_sizes())
+        print(
+            f"  sharding:       {index.n_shards} shards"
+            f" ({index.shard_config.partitioner} partitioner),"
+            f" sizes [{sizes}]"
+        )
     _print_stats(index.stats(), "Statistics")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_any_index(args.index)
     _print_stats(index.stats(), f"Index statistics: {args.index}")
     if args.watch:
         return _stats_watch(args, index)
@@ -805,7 +861,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     (``top``), one span tree with its critical path (``show``), or a
     Chrome trace-event export (``export``).
     """
-    index = load_index(args.index)
+    index = load_any_index(args.index)
     if args.queries < 1:
         raise ValueError("--queries must be >= 1")
     if args.action == "export" and args.out is not None:

@@ -17,7 +17,13 @@ from .decomposition import (
 )
 from .nncell_index import BuildConfig, NNCellIndex, QueryInfo
 from .order_k import OrderKCell, OrderKIndex, enumerate_order_k_cells
-from .persistence import load_index, save_index
+from .persistence import (
+    load_any_index,
+    load_index,
+    load_sharded_index,
+    save_index,
+    save_sharded_index,
+)
 from .weighted import WeightedNNCellIndex, weighted_distances
 from .quality import (
     average_overlap,
@@ -37,8 +43,11 @@ __all__ = [
     "QueryInfo",
     "WeightedNNCellIndex",
     "enumerate_order_k_cells",
+    "load_any_index",
     "load_index",
+    "load_sharded_index",
     "save_index",
+    "save_sharded_index",
     "weighted_distances",
     "SelectorKind",
     "SelectorParams",

@@ -24,9 +24,20 @@ from ..geometry.mbr import MBR
 from .candidates import CandidateSelector, SelectorKind, SelectorParams
 from .nncell_index import BuildConfig, NNCellIndex
 
-__all__ = ["save_index", "load_index"]
+__all__ = [
+    "is_sharded_archive",
+    "load_any_index",
+    "load_index",
+    "load_sharded_index",
+    "save_index",
+    "save_sharded_index",
+]
 
 _FORMAT_VERSION = 1
+
+_SHARD_FORMAT_VERSION = 1
+_SHARD_MANIFEST = "manifest.json"
+_SHARD_GLOBALS = "global.npz"
 
 
 def save_index(index: NNCellIndex, path: "Union[str, Path]") -> None:
@@ -109,6 +120,139 @@ def load_index(path: "Union[str, Path]") -> NNCellIndex:
 
     _rebuild_runtime_state(index)
     return index
+
+
+# ======================================================================
+# Sharded archives: one directory, one sub-archive per live shard
+#
+# A sharded index persists as a *directory* so each shard stays an
+# ordinary `save_index` .npz that loads independently — a deployment can
+# ship shards to different hosts and only the manifest needs global
+# knowledge.  `manifest.json` carries the shard/partitioner config and
+# the per-shard local→global id maps; `global.npz` carries the full
+# point array and active mask (rows of deleted points included, so
+# global ids stay stable across save/load exactly as unsharded ids do).
+# ======================================================================
+
+def is_sharded_archive(path: "Union[str, Path]") -> bool:
+    """Whether ``path`` is a sharded archive directory."""
+    p = Path(path)
+    return p.is_dir() and (p / _SHARD_MANIFEST).exists()
+
+
+def save_sharded_index(index, path: "Union[str, Path]") -> None:
+    """Serialise a :class:`~repro.shard.ShardedNNCellIndex` directory."""
+    import json
+
+    target = Path(path)
+    if target.exists() and not target.is_dir():
+        raise ValueError(
+            f"{target} exists and is not a directory (sharded archives"
+            " are directories)"
+        )
+    target.mkdir(parents=True, exist_ok=True)
+    shard_entries = []
+    for s, shard in enumerate(index._shards):
+        if shard is None:
+            shard_entries.append(
+                {"archive": None, "global_ids": list(index._globals[s])}
+            )
+            continue
+        name = f"shard_{s}.npz"
+        save_index(shard, target / name)
+        shard_entries.append(
+            {"archive": name, "global_ids": list(index._globals[s])}
+        )
+    manifest = {
+        "format_version": _SHARD_FORMAT_VERSION,
+        "kind": "sharded-nncell",
+        "dim": int(index.dim),
+        "shard_config": {
+            "n_shards": index.shard_config.n_shards,
+            "partitioner": index.shard_config.partitioner,
+            "hilbert_bits": index.shard_config.hilbert_bits,
+            "build_workers": index.shard_config.build_workers,
+            "query_workers": index.shard_config.query_workers,
+        },
+        "partitioner": index.partitioner.to_manifest(),
+        "shards": shard_entries,
+    }
+    (target / _SHARD_MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    np.savez_compressed(
+        target / _SHARD_GLOBALS,
+        points=index.points,
+        active=index._active,
+        shard_of=np.asarray(index._shard_of, dtype=np.int64),
+        local_of=np.asarray(index._local_of, dtype=np.int64),
+    )
+
+
+def load_sharded_index(path: "Union[str, Path]"):
+    """Rebuild a sharded index saved with :func:`save_sharded_index`."""
+    import json
+
+    from ..shard import ShardConfig, ShardedNNCellIndex, partitioner_from_manifest
+
+    source = Path(path)
+    if not source.exists():
+        raise FileNotFoundError(f"no sharded index archive at {source}")
+    manifest_path = source / _SHARD_MANIFEST
+    if not manifest_path.exists():
+        raise ValueError(f"{source} is not a sharded index archive")
+    manifest = json.loads(manifest_path.read_text())
+    version = int(manifest.get("format_version", -1))
+    if version != _SHARD_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded archive version {version} "
+            f"(expected {_SHARD_FORMAT_VERSION})"
+        )
+    shard_config = ShardConfig(**manifest["shard_config"])
+    partitioner = partitioner_from_manifest(manifest["partitioner"])
+    shards = []
+    globals_ = []
+    build_config = None
+    for entry in manifest["shards"]:
+        globals_.append([int(g) for g in entry["global_ids"]])
+        if entry["archive"] is None:
+            shards.append(None)
+            continue
+        shard = load_index(source / entry["archive"])
+        if build_config is None:
+            build_config = shard.config
+        shards.append(shard)
+    if build_config is None:  # pragma: no cover - archives are non-empty
+        raise ValueError(f"{source} contains no live shards")
+    with np.load(source / _SHARD_GLOBALS) as arrays:
+        points = arrays["points"]
+        active = arrays["active"]
+        shard_of = [int(v) for v in arrays["shard_of"]]
+        local_of = [int(v) for v in arrays["local_of"]]
+    return ShardedNNCellIndex._restore(
+        points=points,
+        active=active,
+        shard_config=shard_config,
+        build_config=build_config,
+        partitioner=partitioner,
+        shards=shards,
+        globals_=globals_,
+        shard_of=shard_of,
+        local_of=local_of,
+    )
+
+
+def load_any_index(path: "Union[str, Path]"):
+    """Load either archive format: a directory loads as sharded, a file
+    as a plain :class:`NNCellIndex` — the CLI front-ends' entry point."""
+    if is_sharded_archive(path):
+        return load_sharded_index(path)
+    if Path(path).is_dir():
+        raise ValueError(
+            f"{path} is a directory without a {_SHARD_MANIFEST}"
+            " (not a sharded index archive)"
+        )
+    return load_index(path)
 
 
 def _rebuild_runtime_state(index: NNCellIndex) -> None:

@@ -54,8 +54,9 @@ DEFAULT_WINDOWS: "Tuple[int, ...]" = (1, 10, 60)
 #: Ring length: how far back a window may reach.
 DEFAULT_HORIZON_SECONDS = 120
 
-#: Metric-name prefixes tracked by default (serving + query traffic).
-DEFAULT_PREFIXES: "Tuple[str, ...]" = ("serve.", "query.")
+#: Metric-name prefixes tracked by default (serving + query traffic,
+#: including the sharded scatter-gather counters).
+DEFAULT_PREFIXES: "Tuple[str, ...]" = ("serve.", "query.", "shard.")
 
 #: Reservoir cap on stored samples *per bucket per metric*.
 BUCKET_SAMPLE_CAP = 512

@@ -342,6 +342,11 @@ _STAGE_BY_NAME = {
     "query.fallback": "fallback",
     "search.rkv": "fallback",
     "search.hs": "fallback",
+    # Sharded scatter-gather: the k-merge is candidate post-processing;
+    # `shard.probe`/`shard.nearest`/`shard.query_batch` stay unmapped on
+    # purpose so the walk/scan spans inside each shard claim their own
+    # stages (concurrent shard claims are clamped like any child claim).
+    "shard.merge": "candidate_scan",
 }
 
 #: Stages in display order (``compute_other`` is flush time not claimed

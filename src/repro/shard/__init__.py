@@ -1,0 +1,28 @@
+"""Horizontal scaling layer: sharded solution spaces, exact answers.
+
+``repro.shard`` partitions the database across N independent
+:class:`~repro.core.nncell_index.NNCellIndex` shards and answers
+queries by concurrent scatter-gather with an exact k-merge — results
+are bit-identical to an unsharded index over the same points.  See
+``docs/sharding.md`` for the partitioners, the exactness argument and
+tuning guidance.
+"""
+
+from .partition import (
+    PARTITIONER_KINDS,
+    HashPartitioner,
+    HilbertRangePartitioner,
+    make_partitioner,
+    partitioner_from_manifest,
+)
+from .sharded import ShardConfig, ShardedNNCellIndex
+
+__all__ = [
+    "PARTITIONER_KINDS",
+    "HashPartitioner",
+    "HilbertRangePartitioner",
+    "ShardConfig",
+    "ShardedNNCellIndex",
+    "make_partitioner",
+    "partitioner_from_manifest",
+]

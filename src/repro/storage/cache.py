@@ -13,7 +13,20 @@ from typing import Any
 
 from ..obs import metrics
 
-__all__ = ["LRUCache"]
+__all__ = ["CacheCapacityError", "LRUCache"]
+
+
+class CacheCapacityError(ValueError):
+    """An entry larger than the whole buffer pool was offered to it.
+
+    Admitting such an entry used to silently blow the pool past its
+    capacity (``used_blocks > capacity_blocks`` with nothing left to
+    evict), quietly breaking the "same amount of cache" accounting the
+    benchmarks rely on.  Callers that can meet an oversized page — the
+    :class:`~repro.storage.page.PageManager` with an X-tree supernode
+    wider than the configured pool — must bypass the cache instead
+    (uncached reads stay correct, just uncounted as hits).
+    """
 
 
 class LRUCache:
@@ -49,12 +62,19 @@ class LRUCache:
     def put(self, key: int, value: Any, n_blocks: int = 1) -> None:
         """Insert or refresh an entry, evicting LRU victims as needed.
 
-        Entries larger than the whole pool are admitted alone (the pool
-        temporarily holds just that entry), mirroring how a buffer manager
-        must still read an oversized supernode through the buffer.
+        Raises :class:`CacheCapacityError` when ``n_blocks`` exceeds the
+        whole pool — the entry could never be held within capacity, and
+        silently admitting it would leave ``used_blocks`` permanently
+        above ``capacity_blocks``.  Callers bypass the cache for such
+        entries (see ``PageManager._cache_put``).
         """
         if n_blocks < 1:
             raise ValueError("n_blocks must be >= 1")
+        if n_blocks > self.capacity_blocks:
+            raise CacheCapacityError(
+                f"entry of {n_blocks} blocks cannot fit a pool of"
+                f" {self.capacity_blocks} blocks"
+            )
         if key in self._entries:
             __, old_blocks = self._entries.pop(key)
             self._used_blocks -= old_blocks

@@ -120,8 +120,7 @@ class PageManager:
         self._next_id += 1
         self._pages[page_id] = _Page(page_id, payload, n_blocks)
         self._count_write(n_blocks)
-        if self._cache is not None:
-            self._cache.put(page_id, True, n_blocks)
+        self._cache_put(page_id, n_blocks)
         return page_id
 
     def read(self, page_id: int) -> Any:
@@ -137,7 +136,7 @@ class PageManager:
         elif not self._cache.touch(page_id):
             self.stats.physical_reads += page.n_blocks
             metrics.inc("storage.physical_reads", page.n_blocks)
-            self._cache.put(page_id, True, page.n_blocks)
+            self._cache_put(page_id, page.n_blocks)
         return page.payload
 
     def write(self, page_id: int, payload: Any, n_blocks: "int | None" = None) -> None:
@@ -152,8 +151,24 @@ class PageManager:
             page.n_blocks = n_blocks
         page.payload = payload
         self._count_write(page.n_blocks)
-        if self._cache is not None:
-            self._cache.put(page_id, True, page.n_blocks)
+        self._cache_put(page_id, page.n_blocks)
+
+    def _cache_put(self, page_id: int, n_blocks: int) -> None:
+        """Admit a page to the buffer pool, bypassing oversized ones.
+
+        A supernode wider than the whole pool can never be held within
+        capacity (``LRUCache.put`` refuses it with a
+        :class:`~repro.storage.cache.CacheCapacityError`); it reads
+        uncached instead.  Any stale cached entry under the same id is
+        dropped so a page *resized* past capacity cannot linger with its
+        old block count.
+        """
+        if self._cache is None:
+            return
+        if n_blocks > self._cache.capacity_blocks:
+            self._cache.evict(page_id)
+            return
+        self._cache.put(page_id, True, n_blocks)
 
     def free(self, page_id: int) -> None:
         """Release a page (and its buffer-pool slot)."""

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.storage.cache import LRUCache
+from repro.storage.cache import CacheCapacityError, LRUCache
+from repro.storage.page import PageManager
 
 
 class TestBasics:
@@ -50,13 +51,45 @@ class TestEviction:
         assert not cache.touch(1)
         assert cache.used_blocks <= 4
 
-    def test_oversized_entry_admitted_alone(self):
+    def test_oversized_entry_raises_typed_error(self):
+        # Regression: put() used to silently admit entries wider than
+        # the whole pool, leaving used_blocks permanently above
+        # capacity_blocks with nothing evictable.
         cache = LRUCache(2)
         cache.put(1, "a")
-        cache.put(2, "huge", n_blocks=10)
-        # Entry 2 is present even though it exceeds capacity on its own.
-        assert cache.touch(2)
+        with pytest.raises(CacheCapacityError):
+            cache.put(2, "huge", n_blocks=10)
+        # The refusal is also a ValueError, so untyped callers still fail.
+        with pytest.raises(ValueError):
+            cache.put(2, "huge", n_blocks=10)
+        # Pool state is untouched by the refused insert.
+        assert cache.touch(1)
         assert len(cache) == 1
+        assert cache.used_blocks == 1
+
+    def test_exact_capacity_entry_is_admitted(self):
+        cache = LRUCache(4)
+        cache.put(1, "a", n_blocks=4)
+        assert cache.touch(1)
+        assert cache.used_blocks == 4
+
+    def test_page_manager_bypasses_oversized_supernode(self):
+        # The PageManager must keep working when an X-tree supernode
+        # outgrows the buffer pool: the page reads uncached (every read
+        # physical) instead of raising.
+        pages = PageManager(cache_pages=2)
+        page_id = pages.allocate("supernode", n_blocks=8)
+        assert pages.read(page_id) == "supernode"
+        before = pages.stats.physical_reads
+        pages.read(page_id)
+        assert pages.stats.physical_reads == before + 8  # never cached
+        # A page *resized* past capacity is dropped from the pool too.
+        small = pages.allocate("node", n_blocks=1)
+        pages.read(small)
+        pages.write(small, "grown", n_blocks=8)
+        before = pages.stats.physical_reads
+        pages.read(small)
+        assert pages.stats.physical_reads == before + 8
 
     def test_reput_updates_size(self):
         cache = LRUCache(6)

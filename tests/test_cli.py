@@ -187,6 +187,57 @@ class TestErrorHandling:
         assert code == 1
 
 
+class TestShardedCli:
+    def test_build_query_info_sharded_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "fleet"
+        code, stdout, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "40",
+            "--dim", "3", "--out", str(out), "--shards", "3",
+            "--partitioner", "hilbert",
+        )
+        assert code == 0
+        assert out.is_dir()
+        assert "shards (hilbert partitioner)" in stdout
+
+        code, stdout, __ = run(
+            capsys, "query", str(out), "--point", "0.5,0.5,0.5", "-k", "3",
+        )
+        assert code == 0
+        assert "#3" in stdout
+
+        code, stdout, __ = run(capsys, "info", str(out))
+        assert code == 0
+        assert "sharding:" in stdout
+        assert "3 shards (hilbert partitioner)" in stdout
+
+    def test_sharded_query_matches_unsharded(self, tmp_path, capsys):
+        flat = tmp_path / "idx.npz"
+        fleet = tmp_path / "fleet"
+        for target, extra in ((flat, []), (fleet, ["--shards", "4"])):
+            code, __, __ = run(
+                capsys, "build", "--dataset", "uniform", "--n", "40",
+                "--dim", "3", "--out", str(target), *extra,
+            )
+            assert code == 0
+        __, flat_out, __ = run(
+            capsys, "query", str(flat), "--point", "0.3,0.6,0.9", "-k", "2",
+        )
+        __, fleet_out, __ = run(
+            capsys, "query", str(fleet), "--point", "0.3,0.6,0.9", "-k", "2",
+        )
+        # Identical answer lines (ids and distances), modulo the path.
+        flat_rows = [l for l in flat_out.splitlines() if l.startswith("#")]
+        fleet_rows = [l for l in fleet_out.splitlines() if l.startswith("#")]
+        assert flat_rows == fleet_rows
+
+    def test_build_rejects_negative_shards(self, tmp_path, capsys):
+        code, __, stderr = run(
+            capsys, "build", "--dataset", "uniform", "--n", "10",
+            "--dim", "2", "--out", str(tmp_path / "x"), "--shards", "-1",
+        )
+        assert code == 1
+
+
 class TestStatsCommand:
     @pytest.fixture()
     def index_path(self, tmp_path, capsys):

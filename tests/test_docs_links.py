@@ -54,3 +54,29 @@ def test_default_targets_cover_docs_and_readme(checker):
     names = {p.name for p in checker.default_targets()}
     assert "README.md" in names
     assert "architecture.md" in names
+
+
+def test_architecture_mentions_every_subpackage(checker):
+    missing = checker.check_architecture_coverage()
+    assert missing == [], (
+        f"docs/architecture.md does not mention: "
+        f"{', '.join('repro.' + name for name in missing)}"
+    )
+
+
+def test_subpackage_discovery_sees_known_layers(checker):
+    names = checker.repro_subpackages()
+    for expected in ("core", "index", "engine", "serve", "obs", "shard"):
+        assert expected in names
+
+
+def test_coverage_checker_flags_missing_mention(checker, tmp_path):
+    src = tmp_path / "src"
+    (src / "repro" / "newlayer").mkdir(parents=True)
+    (src / "repro" / "newlayer" / "__init__.py").touch()
+    (src / "repro" / "oldlayer").mkdir()
+    (src / "repro" / "oldlayer" / "__init__.py").touch()
+    doc = tmp_path / "architecture.md"
+    doc.write_text("Only `repro.oldlayer` is described here.\n")
+    missing = checker.check_architecture_coverage(doc, src)
+    assert missing == ["newlayer"]

@@ -8,15 +8,18 @@ Scans markdown files for
 * prose references to repo files such as ``docs/scaling.md``,
   ``examples/quickstart.py`` or ``ROADMAP.md`` — mentioned paths must
   exist, so a renamed or deleted file cannot leave a dangling pointer in
-  the documentation.
+  the documentation;
+* architecture coverage — every ``src/repro/*`` subpackage must be
+  mentioned (as ``repro.<name>``) in ``docs/architecture.md``, so a new
+  layer cannot land without the architecture overview describing it.
 
 Usage::
 
     python tools/check_doc_links.py [FILE_OR_DIR ...]
 
 With no arguments, checks ``docs/``, ``README.md`` and every other
-``*.md`` at the repo root.  Exits non-zero listing each broken
-reference as ``file:line: target``.
+``*.md`` at the repo root, plus the architecture-coverage rule.  Exits
+non-zero listing each broken reference as ``file:line: target``.
 """
 
 from __future__ import annotations
@@ -79,10 +82,48 @@ def check_file(path: Path) -> "List[Tuple[int, str]]":
     return broken
 
 
+def repro_subpackages(
+    src_root: "Path | None" = None,
+) -> "List[str]":
+    """Names of every ``src/repro/*`` subpackage (dirs with __init__.py)."""
+    root = (src_root or REPO_ROOT / "src") / "repro"
+    return sorted(
+        child.name
+        for child in root.iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    )
+
+
+def check_architecture_coverage(
+    architecture_md: "Path | None" = None,
+    src_root: "Path | None" = None,
+) -> "List[str]":
+    """Subpackages *not* mentioned as ``repro.<name>`` in architecture.md.
+
+    The architecture overview is the map of the system; a layer that is
+    not on the map is undocumented.  Returns the missing names.
+    """
+    doc = architecture_md or REPO_ROOT / "docs" / "architecture.md"
+    text = doc.read_text() if doc.exists() else ""
+    return [
+        name
+        for name in repro_subpackages(src_root)
+        if f"repro.{name}" not in text
+    ]
+
+
 def main(argv: "List[str] | None" = None) -> int:
     arguments = sys.argv[1:] if argv is None else argv
     files = expand(arguments) if arguments else default_targets()
     failures = 0
+    if not arguments:
+        for name in check_architecture_coverage():
+            print(
+                f"docs/architecture.md: subpackage repro.{name}"
+                f" is not mentioned",
+                file=sys.stderr,
+            )
+            failures += 1
     for path in files:
         if not path.exists():
             print(f"{path}: file not found", file=sys.stderr)

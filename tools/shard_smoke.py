@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Sharding-layer smoke test, run by CI's ``shard-smoke`` job.
+
+End-to-end sanity of :mod:`repro.shard` on a real (tiny) fleet:
+
+1. build a 4-shard archive through the CLI (``build --shards 4``) and
+   read it back with ``load_any_index``;
+2. start a :class:`QueryService` over the sharded index and push 200
+   queries at it from 4 concurrent client threads;
+3. assert **zero errors** and **every answer bit-identical to an
+   unsharded index** over the same points (the exactness contract,
+   checked through the full serve + scatter-gather stack);
+4. assert the scatter actually fanned out (``shard.fanout`` observed)
+   and the CLI ``query``/``info`` paths work on the archive.
+
+Exits non-zero with a message on any violation.  Also runnable
+locally::
+
+    PYTHONPATH=src python tools/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro import NNCellIndex  # noqa: E402
+from repro.core.persistence import (  # noqa: E402
+    is_sharded_archive,
+    load_any_index,
+)
+from repro.data import query_points  # noqa: E402
+from repro.obs import metrics  # noqa: E402
+from repro.serve import QueryService, ServeConfig  # noqa: E402
+from repro.shard import ShardedNNCellIndex  # noqa: E402
+
+N_SHARDS = 4
+N_THREADS = 4
+N_QUERIES = 200
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"shard smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def cli(args: "list[str]") -> str:
+    """Run one repro CLI command; fail the smoke on non-zero exit."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+        cwd=str(REPO_ROOT),
+    )
+    check(
+        proc.returncode == 0,
+        f"`repro {' '.join(args)}` exited {proc.returncode}:"
+        f" {proc.stderr.strip()[:300]}",
+    )
+    return proc.stdout
+
+
+def build_archive(workdir: Path) -> Path:
+    """Step 1: CLI round-trip — build a 4-shard archive, load it back."""
+    archive = workdir / "fleet"
+    cli([
+        "build", "--dataset", "uniform", "--n", "120", "--dim", "4",
+        "--seed", "5",
+        "--shards", str(N_SHARDS), "--partitioner", "hilbert",
+        "--out", str(archive),
+    ])
+    check(is_sharded_archive(archive), f"{archive} is not a sharded archive")
+    index = load_any_index(archive)
+    check(isinstance(index, ShardedNNCellIndex),
+          f"load_any_index returned {type(index).__name__}")
+    check(index.n_shards == N_SHARDS,
+          f"archive has {index.n_shards} shards, expected {N_SHARDS}")
+    check(len(index) == 120, f"archive holds {len(index)} points, not 120")
+    print(f"archive OK: {N_SHARDS} shards, sizes {index.shard_sizes()}")
+    return archive
+
+
+def concurrent_parity(index, registry) -> None:
+    """Steps 2-3: concurrent serve over shards, bit-identical answers."""
+    flat = NNCellIndex.build(index.points, index.config)
+    queries = query_points(N_QUERIES, index.dim, seed=13)
+    config = ServeConfig(max_batch_size=32, max_wait_ms=5.0)
+    results: "list" = [None] * N_QUERIES
+    errors: "list" = []
+
+    with QueryService(index, config) as service:
+        def client(thread_idx: int) -> None:
+            for i in range(thread_idx, N_QUERIES, N_THREADS):
+                try:
+                    results[i] = service.submit(queries[i])
+                except Exception as err:  # any error fails the smoke
+                    errors.append((i, repr(err)))
+
+        threads = [
+            threading.Thread(target=client, args=(t,))
+            for t in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = service.stats()
+
+    check(not errors, f"{len(errors)} client errors, first: {errors[:1]}")
+    check(stats["completed"] == N_QUERIES,
+          f"completed {stats['completed']} != {N_QUERIES}")
+    mismatches = 0
+    for i in range(N_QUERIES):
+        point_id, distance, __ = flat.nearest(queries[i])
+        if (results[i].point_id != point_id
+                or results[i].distance != distance):
+            mismatches += 1
+    check(mismatches == 0,
+          f"{mismatches}/{N_QUERIES} served answers differ from the"
+          f" unsharded index")
+    fanout = registry.histogram("shard.fanout").summary()
+    check(fanout["count"] > 0, "no shard.fanout observations recorded")
+    check(fanout["mean"] > 1.0,
+          f"shard.fanout mean {fanout['mean']:.2f} <= 1 (no scatter)")
+    print(
+        f"parity OK: {N_QUERIES} queries / {N_THREADS} threads, "
+        f"0 mismatches, mean fanout {fanout['mean']:.2f}"
+    )
+
+
+def cli_query_paths(archive: Path) -> None:
+    """Step 4: the query/info CLI paths understand sharded archives."""
+    out = cli(["query", str(archive),
+               "--point", "0.5,0.5,0.5,0.5", "-k", "3"])
+    check("neighbor" in out or "id" in out,
+          f"unexpected query output: {out[:200]!r}")
+    info = cli(["info", str(archive)])
+    check("sharding" in info, f"info output missing sharding line: "
+          f"{info[:300]!r}")
+    print("cli OK: query/info understand the sharded archive")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        archive = build_archive(workdir)
+        index = load_any_index(archive)
+        with metrics.collecting(fresh=True) as registry:
+            concurrent_parity(index, registry)
+        index.close()
+        cli_query_paths(archive)
+    print("shard smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
