@@ -1,0 +1,130 @@
+"""Tail-latency trajectory of scatter-gather mitigations, modelled clock.
+
+What does one 10x-slow shard cost a fan-out query, and how much of that
+cost does each mitigation tier buy back?  Wall-clock chaos runs answer
+noisily and slowly (a stable p99 needs thousands of queries and real
+sleeps), so this bench runs the **modelled clock** — the analytic
+simulation in :mod:`repro.chaos.model`, deterministic for its seed and
+parameterised exactly like the live policy
+(:class:`~repro.shard.ResilienceConfig`) — and publishes the trajectory
+as a machine-readable root-level ``BENCH_chaos.json``:
+
+* ``none_p99_ms`` / ``none_p50_ms`` — no mitigation: the gather waits
+  for every shard, so p99 *is* the slow shard's spike;
+* ``timeout_p99_ms`` — per-probe timeout + exponential-backoff retries;
+* ``hedge_p99_ms`` — timeout + retries + hedged duplicate probes (the
+  tail-at-scale mitigation: slow-probability p becomes ~p²);
+* ``partial_p99_ms`` — hedged *and* allowed to answer degraded at the
+  gather deadline (the latency floor; availability traded for
+  completeness);
+* ``hedge_speedup_vs_none`` — the gated headline: hedged p99 must
+  improve on the unmitigated p99 by **>= 3x** (asserted here and by
+  ``tests/chaos/test_model.py``);
+* ``partial_degraded_rate`` — fraction of modelled queries the partial
+  policy answered without every shard (context, never gated).
+
+The ``_ms`` metrics gate through ``tools/compare_bench.py`` (lower is
+better); the speedup and rate are context.  Runnable both ways::
+
+    PYTHONPATH=src pytest benchmarks/bench_chaos.py --benchmark-only -s
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.chaos import ScatterModel, simulate
+
+try:  # direct `python benchmarks/bench_chaos.py` runs too
+    from bench_common import scaled
+except ImportError:  # pragma: no cover - pytest inserts benchmarks/ on path
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_common import scaled
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_chaos.json"
+
+POLICIES = ("none", "timeout", "hedge", "partial")
+
+#: The hedged-vs-unmitigated p99 improvement CI requires.
+MIN_HEDGE_SPEEDUP = 3.0
+
+#: The modelled workload: 4 shards, one of which spikes to 10x its
+#: healthy latency on 15% of probe attempts (defaults of ScatterModel).
+MODEL = ScatterModel()
+
+SEED = 977
+
+
+def measure_policies(n_queries: int) -> dict:
+    """Simulate every policy on the same model; flat metrics mapping."""
+    metrics_out = {}
+    for policy in POLICIES:
+        result = simulate(MODEL, policy, n_queries=n_queries, seed=SEED)
+        summary = result.summary()
+        metrics_out[f"{policy}_p50_ms"] = summary["p50_ms"]
+        metrics_out[f"{policy}_p99_ms"] = summary["p99_ms"]
+        metrics_out[f"{policy}_max_ms"] = summary["max_ms"]
+        if policy == "partial":
+            metrics_out["partial_degraded_rate"] = summary["degraded_rate"]
+    metrics_out["hedge_speedup_vs_none"] = (
+        metrics_out["none_p99_ms"] / metrics_out["hedge_p99_ms"]
+    )
+    return metrics_out
+
+
+def run_bench(out_path: Path = BENCH_PATH) -> dict:
+    """Simulate, assert the mitigation ordering, write the document."""
+    n_queries = scaled(20_000, minimum=2_000)
+    metrics_out = measure_policies(n_queries)
+
+    document = {
+        "bench": "chaos",
+        "format_version": 1,
+        "config": {
+            "n_queries": n_queries,
+            "n_shards": MODEL.n_shards,
+            "slow_shards": list(MODEL.slow_shards),
+            "slow_p": MODEL.slow_p,
+            "slow_ms": MODEL.slow_ms,
+            "timeout_ms": MODEL.timeout_ms,
+            "max_retries": MODEL.max_retries,
+            "hedge_after_ms": MODEL.hedge_after_ms,
+            "deadline_ms": MODEL.deadline_ms,
+            "seed": SEED,
+        },
+        "metrics": metrics_out,
+    }
+
+    speedup = metrics_out["hedge_speedup_vs_none"]
+    if speedup < MIN_HEDGE_SPEEDUP:
+        raise AssertionError(
+            f"hedged p99 improved only {speedup:.2f}x over no mitigation"
+            f" (gate: >= {MIN_HEDGE_SPEEDUP}x)"
+        )
+    ordering = [metrics_out[f"{p}_p99_ms"] for p in POLICIES]
+    if not all(a >= b for a, b in zip(ordering, ordering[1:])):
+        raise AssertionError(
+            f"mitigation tiers out of order: "
+            f"{dict(zip(POLICIES, ordering))}"
+        )
+
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def bench_chaos(benchmark):
+    document = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    m = document["metrics"]
+    assert m["hedge_speedup_vs_none"] >= MIN_HEDGE_SPEEDUP
+    assert 0.0 <= m["partial_degraded_rate"] <= 1.0
+    print(f"\n(bench document written to {BENCH_PATH})")
+    for name in sorted(m):
+        print(f"  {name:<28} {m[name]:.3f}")
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(json.dumps(result, indent=2, sort_keys=True))

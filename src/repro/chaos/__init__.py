@@ -1,0 +1,49 @@
+"""Fault injection and failure drills for the scatter-gather stack.
+
+``repro.chaos`` makes failure a first-class, reproducible input:
+
+* :mod:`repro.chaos.faults` — seedable :class:`ChaosInjector` executing
+  a :class:`FaultPlan` (per-shard latency spikes, raised exceptions,
+  stuck probes; flaky page reads) at two hook sites —
+  :meth:`repro.shard.ShardedNNCellIndex.set_chaos` and
+  :meth:`repro.storage.PageManager.set_chaos` — with zero overhead
+  while no injector is installed;
+* :mod:`repro.chaos.model` — modelled-clock simulation of scatter
+  latency under the mitigation policies (no mitigation, timeout+retry,
+  hedging, partial answers), feeding ``benchmarks/bench_chaos.py``;
+* :mod:`repro.chaos.drill` — the end-to-end drill harness behind the
+  ``repro chaos`` CLI subcommand and CI's ``tools/chaos_smoke.py``.
+
+The mitigations themselves live with the scatter path in
+:mod:`repro.shard.resilience`; this package only *breaks* things and
+*verifies* the response.  See ``docs/resilience.md``.
+"""
+
+from .drill import DrillReport, install_page_chaos, run_drill
+from .faults import (
+    ChaosInjector,
+    FaultPlan,
+    FlakyPageRead,
+    InjectedFault,
+    PageFaults,
+    ShardFaults,
+    StuckProbe,
+)
+from .model import ScatterModel, SimResult, percentile, simulate
+
+__all__ = [
+    "ChaosInjector",
+    "DrillReport",
+    "FaultPlan",
+    "FlakyPageRead",
+    "InjectedFault",
+    "PageFaults",
+    "ScatterModel",
+    "ShardFaults",
+    "SimResult",
+    "StuckProbe",
+    "install_page_chaos",
+    "percentile",
+    "run_drill",
+    "simulate",
+]

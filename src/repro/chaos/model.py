@@ -1,0 +1,205 @@
+"""Modelled-clock scatter-gather latency under faults and mitigations.
+
+Real wall-clock chaos runs are noisy and slow — a p99 needs thousands
+of queries and real sleeps.  This model computes the *same* completion
+times analytically, on a virtual clock, from the same policy parameters
+the live path uses (:class:`repro.shard.ResilienceConfig` semantics):
+
+* a probe attempt against a healthy shard takes ``base_ms``; against a
+  faulted shard it takes ``slow_ms`` with probability ``slow_p``
+  (fresh draw per attempt — retries and hedges re-roll, exactly like
+  :class:`~repro.chaos.faults.ChaosInjector`);
+* **no mitigation**: the query waits for every shard — latency is the
+  max over shards of one uncapped attempt;
+* **timeout + retry**: an attempt is abandoned at ``timeout_ms``; the
+  shard retries after an exponential backoff until an attempt finishes
+  in time (attempts capped at ``max_retries + 1``; an exhausted shard
+  contributes its total spent time);
+* **hedging**: at ``hedge_after_ms`` into an attempt a duplicate is
+  launched and the earlier finisher wins —
+  ``min(d1, hedge_after + d2)`` — composing with the timeout/retry cap;
+* **partial**: the gather stops waiting at ``deadline_ms`` and answers
+  degraded from the shards that made it.
+
+Deterministic for a given seed; ``benchmarks/bench_chaos.py`` publishes
+the resulting p50/p99 trajectory to ``BENCH_chaos.json`` and CI gates
+the hedged-vs-unmitigated p99 ratio at >= 3x.  The model is unit-tested
+against its own invariants in ``tests/chaos/test_model.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ScatterModel", "SimResult", "percentile", "simulate"]
+
+
+def percentile(values: "Sequence[float]", q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class ScatterModel:
+    """Workload + fault + policy parameters of one simulation."""
+
+    n_shards: int = 4
+    #: Healthy probe latency (model units; milliseconds by convention).
+    base_ms: float = 1.0
+    #: Shard ids afflicted by latency spikes.
+    slow_shards: "tuple" = (0,)
+    #: Per-attempt spike probability on an afflicted shard.
+    slow_p: float = 0.15
+    #: Attempt latency when the spike hits (the "10x-slow" shard).
+    slow_ms: float = 10.0
+    #: Per-attempt timeout of the mitigated policies.
+    timeout_ms: float = 1.5
+    #: Extra attempts after the first (mitigated policies).
+    max_retries: int = 3
+    #: Backoff before retry k: ``backoff_base_ms * backoff_factor**(k-1)``.
+    backoff_base_ms: float = 0.1
+    backoff_factor: float = 2.0
+    #: Hedge launch delay within an attempt (hedged policy).
+    hedge_after_ms: float = 0.3
+    #: Gather deadline of the partial policy.
+    deadline_ms: float = 1.5
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not 0.0 <= self.slow_p <= 1.0:
+            raise ValueError("slow_p must be in [0, 1]")
+        for name in ("base_ms", "slow_ms", "timeout_ms", "hedge_after_ms",
+                     "deadline_ms"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def attempt_ms(self, shard: int, rng: random.Random) -> float:
+        """One attempt's intrinsic duration (fresh draw)."""
+        if shard in self.slow_shards and rng.random() < self.slow_p:
+            return self.slow_ms
+        return self.base_ms
+
+
+@dataclass
+class SimResult:
+    """Latency samples plus accounting from one simulated policy run."""
+
+    policy: str
+    latencies_ms: "List[float]" = field(default_factory=list)
+    retries: int = 0
+    hedges: int = 0
+    timeouts: int = 0
+    degraded: int = 0  # queries answered without every shard
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.latencies_ms)
+
+    def p(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def summary(self) -> "Dict[str, float]":
+        return {
+            "p50_ms": self.p(50.0),
+            "p99_ms": self.p(99.0),
+            "max_ms": max(self.latencies_ms) if self.latencies_ms else 0.0,
+            "retries": float(self.retries),
+            "hedges": float(self.hedges),
+            "timeouts": float(self.timeouts),
+            "degraded": float(self.degraded),
+            "degraded_rate": (
+                self.degraded / self.n_queries if self.n_queries else 0.0
+            ),
+        }
+
+
+def _shard_completion(
+    model: ScatterModel,
+    shard: int,
+    rng: random.Random,
+    hedged: bool,
+    result: SimResult,
+) -> float:
+    """Virtual time until ``shard`` answers under timeout+retry(+hedge).
+
+    Mirrors the live gather loop: attempts are capped at ``timeout_ms``;
+    a hedged attempt finishes at ``min(d1, hedge_after + d2)``; each
+    retry waits an exponential backoff first.  An exhausted shard
+    (every attempt timed out) reports its total spent time — the live
+    path would mark it failed at the same instant.
+    """
+    clock = 0.0
+    for attempt in range(model.max_retries + 1):
+        if attempt:
+            result.retries += 1
+            clock += (
+                model.backoff_base_ms
+                * model.backoff_factor ** (attempt - 1)
+            )
+        duration = model.attempt_ms(shard, rng)
+        if hedged and duration > model.hedge_after_ms:
+            result.hedges += 1
+            duration = min(
+                duration,
+                model.hedge_after_ms + model.attempt_ms(shard, rng),
+            )
+        if duration <= model.timeout_ms:
+            return clock + duration
+        result.timeouts += 1
+        clock += model.timeout_ms
+    return clock
+
+
+def simulate(
+    model: ScatterModel,
+    policy: str,
+    n_queries: int = 10_000,
+    seed: int = 0,
+) -> SimResult:
+    """Run ``n_queries`` scatter-gathers under ``policy`` on the model.
+
+    Policies: ``"none"`` (wait for everything, uncapped),
+    ``"timeout"`` (per-probe timeout + backoff retries),
+    ``"hedge"`` (timeout + retries + hedged duplicates), and
+    ``"partial"`` (hedged, but the gather stops at ``deadline_ms`` and
+    answers degraded).
+    """
+    if policy not in ("none", "timeout", "hedge", "partial"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = random.Random(seed)
+    result = SimResult(policy=policy)
+    for __ in range(n_queries):
+        if policy == "none":
+            latency = max(
+                model.attempt_ms(s, rng) for s in range(model.n_shards)
+            )
+        else:
+            hedged = policy in ("hedge", "partial")
+            completions = [
+                _shard_completion(model, s, rng, hedged, result)
+                for s in range(model.n_shards)
+            ]
+            latency = max(completions)
+            if policy == "partial" and latency > model.deadline_ms:
+                # The gather answers at the deadline from whoever made
+                # it; at least one shard always has (base < deadline).
+                latency = model.deadline_ms
+                result.degraded += 1
+        result.latencies_ms.append(latency)
+    return result

@@ -206,6 +206,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="what a submission hitting a full queue does")
     serve.add_argument("--timeout-ms", type=float, default=None,
                        help="default per-request deadline")
+    serve.add_argument("--shard-timeout-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-shard probe timeout; a timed-out probe"
+                            " retries with exponential backoff"
+                            " (sharded index; docs/resilience.md)")
+    serve.add_argument("--shard-retries", type=int, default=2,
+                       metavar="N",
+                       help="probe attempts after the first, per shard"
+                            " (with a resilience flag)")
+    serve.add_argument("--hedge-after-ms", type=float, default=None,
+                       metavar="MS",
+                       help="launch a duplicate probe this long into an"
+                            " unanswered attempt; first answer wins"
+                            " (sharded index)")
+    serve.add_argument("--allow-partial", action="store_true",
+                       help="answer from the surviving shards when some"
+                            " fail permanently, marking the response"
+                            " degraded with its failed_shards, instead"
+                            " of failing the query")
     serve.add_argument("--stats", action="store_true",
                        help="print serving statistics to stderr at EOF")
     serve.add_argument("--metrics-port", type=int, default=None,
@@ -236,6 +255,57 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="let a paging SLO shed the micro-batching"
                             " delay (QueryService degraded mode)")
     serve.set_defaults(handler=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a reproducible failure drill against a sharded index:"
+             " inject faults, serve a concurrent workload, verify every"
+             " answer is bit-exact or explicitly degraded"
+             " (docs/resilience.md)",
+    )
+    chaos.add_argument("index", type=Path)
+    chaos.add_argument("--shards", type=int, default=0,
+                       help="re-shard an unsharded archive across N"
+                            " shards for the drill")
+    chaos.add_argument("--queries", type=int, default=200,
+                       help="concurrent workload size")
+    chaos.add_argument("--threads", type=int, default=4,
+                       help="concurrent client threads")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="workload and fault-plan seed")
+    chaos.add_argument("--slow-shard", type=int, action="append",
+                       default=None, metavar="S",
+                       help="afflict shard S with latency spikes"
+                            " (repeatable)")
+    chaos.add_argument("--slow-p", type=float, default=1.0,
+                       help="per-attempt spike probability on slow shards")
+    chaos.add_argument("--slow-ms", type=float, default=20.0,
+                       help="injected latency of one spike")
+    chaos.add_argument("--fail-shard", type=int, action="append",
+                       default=None, metavar="S",
+                       help="afflict shard S with raised probe faults"
+                            " (repeatable)")
+    chaos.add_argument("--fail-p", type=float, default=1.0,
+                       help="per-attempt fault probability on failing"
+                            " shards")
+    chaos.add_argument("--flaky-p", type=float, default=0.0,
+                       help="per-read flaky-page probability (storage"
+                            " layer, all shards)")
+    chaos.add_argument("--shard-timeout-ms", type=float, default=None,
+                       metavar="MS",
+                       help="resilience under test: per-probe timeout")
+    chaos.add_argument("--shard-retries", type=int, default=2,
+                       metavar="N",
+                       help="resilience under test: retries per shard")
+    chaos.add_argument("--hedge-after-ms", type=float, default=None,
+                       metavar="MS",
+                       help="resilience under test: hedge delay")
+    chaos.add_argument("--allow-partial", action="store_true",
+                       help="resilience under test: degraded partial"
+                            " answers instead of failed queries")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the drill report as JSON")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     explain = sub.add_parser(
         "explain",
@@ -547,6 +617,15 @@ def _serve_response(pending, request_id, explain_point, index) -> dict:
             "source": result.source,
             "trace_id": result.trace_id,
         }
+        if result.degraded:
+            # Degradation is always explicit: the flag, the casualty
+            # list, and the surviving-shard count travel with the
+            # answer (docs/resilience.md).
+            response["degraded"] = True
+            response["failed_shards"] = [
+                int(s) for s in result.failed_shards
+            ]
+            response["shards_answered"] = result.shards_answered
         if explain_point is not None:
             response["explain"] = index.explain(explain_point).as_dict()
     except ServeError as err:
@@ -610,6 +689,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             index = ShardedNNCellIndex.from_index(
                 index, ShardConfig(n_shards=args.shards)
             )
+    resilience = _resilience_from_args(args)
+    if resilience is not None:
+        if not isinstance(index, ShardedNNCellIndex):
+            raise ValueError(
+                "--shard-timeout-ms/--hedge-after-ms/--allow-partial"
+                " need a sharded index (serve a sharded archive or pass"
+                " --shards N)"
+            )
+        index.set_resilience(resilience)
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
@@ -687,6 +775,118 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if telemetry is not None:
             telemetry.close()
     return 0
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """A :class:`ResilienceConfig` when any resilience flag is set.
+
+    Shared by ``serve`` and ``chaos``; ``None`` (all flags at their
+    defaults) keeps the original wait-for-everything scatter.
+    """
+    from .shard import ResilienceConfig
+
+    if (
+        args.shard_timeout_ms is None
+        and args.hedge_after_ms is None
+        and not args.allow_partial
+    ):
+        return None
+    return ResilienceConfig(
+        probe_timeout_ms=args.shard_timeout_ms,
+        max_retries=args.shard_retries,
+        hedge_after_ms=args.hedge_after_ms,
+        allow_partial=args.allow_partial,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: one reproducible failure drill, verdict on stdout.
+
+    Builds the fault plan from the flags, installs the resilience policy
+    under test, drives a concurrent workload through a
+    :class:`QueryService` over the faulted fleet, and verifies the
+    resilience contract on every response (bit-exact or explicitly
+    degraded — never silently wrong).  Exit status 0 iff the contract
+    held.
+    """
+    from dataclasses import replace as dc_replace
+
+    from .chaos import FaultPlan, PageFaults, ShardFaults, run_drill
+
+    index = load_any_index(args.index)
+    if not isinstance(index, ShardedNNCellIndex):
+        if args.shards < 2:
+            raise ValueError(
+                "chaos drills need a sharded index: serve a sharded"
+                " archive or pass --shards N (N >= 2)"
+            )
+        index = ShardedNNCellIndex.from_index(
+            index, ShardConfig(n_shards=args.shards)
+        )
+    elif args.shards and index.n_shards != args.shards:
+        raise ValueError(
+            f"archive is sharded {index.n_shards} ways; --shards"
+            f" {args.shards} conflicts"
+        )
+    shard_faults: dict = {}
+    for s in args.slow_shard or ():
+        shard_faults[s] = ShardFaults(
+            slow_p=args.slow_p, slow_ms=args.slow_ms
+        )
+    for s in args.fail_shard or ():
+        base = shard_faults.get(s, ShardFaults())
+        shard_faults[s] = dc_replace(base, fail_p=args.fail_p)
+    plan = FaultPlan(
+        shards=shard_faults,
+        pages=PageFaults(flaky_p=args.flaky_p),
+        seed=args.seed,
+    )
+    resilience = _resilience_from_args(args)
+    if resilience is not None:
+        index.set_resilience(resilience)
+    try:
+        report = run_drill(
+            index,
+            plan,
+            n_queries=args.queries,
+            n_threads=args.threads,
+            seed=args.seed,
+        )
+    finally:
+        index.close()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.passed else 1
+    verdict = "PASSED" if report.passed else "FAILED"
+    print(
+        f"chaos drill: {verdict}  ({report.n_queries} queries,"
+        f" {report.n_threads} threads, seed {args.seed})"
+    )
+    outcomes = ", ".join(
+        f"{key}={count}" for key, count in sorted(report.outcomes.items())
+    )
+    print(f"outcomes:  {outcomes or 'none'}")
+    injected = ", ".join(
+        f"{key}={count}"
+        for key, count in sorted(report.injected.items())
+        if "." not in key
+    )
+    print(f"injected:  {injected or 'none'}")
+    counters = ", ".join(
+        f"{name}={int(value)}"
+        for name, value in sorted(report.counters.items())
+    )
+    print(f"observed:  {counters or 'none'}")
+    if report.faulted_shards:
+        shards = ", ".join(str(s) for s in report.faulted_shards)
+        print(f"degraded answers named shards: [{shards}]")
+    if not report.passed:
+        print(
+            f"CONTRACT VIOLATIONS: {report.mismatches} silent wrong"
+            f" answers, {report.unaccounted_degraded} unaccounted"
+            f" degraded, {report.untyped_errors} untyped errors"
+        )
+    return 0 if report.passed else 1
 
 
 def _parse_point(text: str, dim: int) -> np.ndarray:
@@ -897,7 +1097,8 @@ def _trace_top(store, limit: int, report) -> None:
         path = obs_tracestore.critical_path(trace, store)
         flags = ",".join(
             flag for flag, on in
-            (("error", trace.error), ("fallback", trace.fallback)) if on
+            (("error", trace.error), ("fallback", trace.fallback),
+             ("degraded", trace.degraded)) if on
         )
         row = {
             "trace_id": trace.trace_id,
@@ -924,7 +1125,8 @@ def _trace_show(store, trace_id: "str | None") -> None:
     path = obs_tracestore.critical_path(trace, store)
     flags = ",".join(
         flag for flag, on in
-        (("error", trace.error), ("fallback", trace.fallback)) if on
+        (("error", trace.error), ("fallback", trace.fallback),
+         ("degraded", trace.degraded)) if on
     )
     print(f"trace:    {trace.trace_id}  ({trace.kind})")
     print(f"duration: {trace.duration_ms:.3f} ms")

@@ -113,6 +113,14 @@ class QueryInfo:
     distance_computations: int = 0
     fallback: bool = False  # branch-and-bound fallback was used
     retried_atol: bool = False  # point query repeated with looser tolerance
+    #: Sharded serving only: the answer is missing some shards'
+    #: candidates (see :mod:`repro.shard.resilience`).  Always ``False``
+    #: for an unsharded index, whose answers are complete by definition.
+    degraded: bool = False
+    #: Shard ids missing from a degraded answer (empty otherwise).
+    failed_shards: "Tuple[int, ...]" = ()
+    #: Shards that contributed (``None`` outside sharded serving).
+    shards_answered: "Optional[int]" = None
 
 
 def fallback_reason(info: QueryInfo) -> "Optional[str]":
@@ -157,6 +165,13 @@ class QueryExplain:
     candidates: "List[Tuple[int, float]]"
     nodes_visited: int
     pages: int
+    #: Sharded serving only: the account is missing some shards (their
+    #: rectangles/candidates are absent and the answer may be farther
+    #: than the true nearest).  See :mod:`repro.shard.resilience`.
+    degraded: bool = False
+    failed_shards: "Tuple[int, ...]" = ()
+    #: Shards that contributed (``None`` outside sharded serving).
+    shards_answered: "Optional[int]" = None
 
     def as_dict(self) -> "Dict[str, Any]":
         """JSON-ready view (the ``repro explain`` / serve echo payload)."""
@@ -183,6 +198,12 @@ class QueryExplain:
             ],
             "nodes_visited": int(self.nodes_visited),
             "pages": int(self.pages),
+            "degraded": bool(self.degraded),
+            "failed_shards": [int(s) for s in self.failed_shards],
+            "shards_answered": (
+                None if self.shards_answered is None
+                else int(self.shards_answered)
+            ),
         }
 
 

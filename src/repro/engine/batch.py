@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +56,12 @@ class BatchQueryInfo:
     fallbacks: int = 0
     retried_atol: int = 0
     n_batches: int = 0  # internal walks (ceil(n_queries / batch_size))
+    #: Sharded serving only: the batch answered without every shard
+    #: (every query in the batch shares the casualty list).
+    degraded: bool = False
+    failed_shards: "Tuple[int, ...]" = ()
+    #: Shards that contributed (``None`` outside sharded serving).
+    shards_answered: "Optional[int]" = None
 
 
 def batched_point_query(

@@ -145,6 +145,17 @@ DEFAULT_SLOS: "Tuple[SLO, ...]" = (
         good=("serve.submitted",),
         description="95% of submissions admitted",
     ),
+    SLO(
+        name="degraded_rate",
+        kind="ratio",
+        budget=0.05,
+        bad=("serve.degraded_answers",),
+        good=("serve.completed",),
+        description=(
+            "95% of answers complete (all shards); partial answers under"
+            " allow_partial burn this budget"
+        ),
+    ),
 )
 
 

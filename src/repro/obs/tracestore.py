@@ -91,6 +91,11 @@ class StoredTrace:
     duration_ms: float
     error: bool = False
     fallback: bool = False
+    #: The response was explicitly degraded — a sharded scatter answered
+    #: without every shard (``allow_partial``).  Degraded traces are
+    #: retained like error/fallback traces: they are exactly the ones a
+    #: post-incident analysis needs.
+    degraded: bool = False
     #: Trace ids this trace is causally linked to (a request links its
     #: flush; a flush links every member request).
     links: "List[str]" = field(default_factory=list)
@@ -107,6 +112,7 @@ class StoredTrace:
             "duration_ms": self.duration_ms,
             "error": self.error,
             "fallback": self.fallback,
+            "degraded": self.degraded,
             "links": list(self.links),
         }
 
@@ -184,6 +190,7 @@ class TraceStore:
                 duration_ms=1e3 * span.duration_seconds,
                 error=bool(attrs.get("error", False)),
                 fallback=_tree_has_fallback(span),
+                degraded=bool(attrs.get("degraded", False)),
                 links=list(attrs.get("links", ())),
             )
         )
@@ -197,7 +204,7 @@ class TraceStore:
             self.added += 1
             if now < self._oldest_added:
                 self._oldest_added = now
-            if trace.error or trace.fallback:
+            if trace.error or trace.fallback or trace.degraded:
                 self._errors.append(trace.trace_id)
                 self._by_id[trace.trace_id] = trace
                 while len(self._errors) > self.error_capacity:

@@ -74,6 +74,15 @@ class QueryResult:
     #: (:mod:`repro.obs.tracectx`); resolvable against the trace store
     #: (``repro trace show``, ``GET /trace/<id>``) while tracing is on.
     trace_id: str = ""
+    #: Sharded serving under ``allow_partial`` only: the answer was
+    #: computed without every shard and may be farther than the true
+    #: nearest.  Degradation is always explicit — ``failed_shards``
+    #: names the missing shards and ``shards_answered`` counts the
+    #: survivors (``None`` when the index is not sharded or the scatter
+    #: was complete).  See ``docs/resilience.md``.
+    degraded: bool = False
+    failed_shards: "tuple" = ()
+    shards_answered: "Optional[int]" = None
 
 
 # Request lifecycle: transitions happen under the service lock only.
@@ -170,6 +179,8 @@ def _request_trace(
     flush_tid: "Optional[str]",
     source: str = "",
     error: str = "",
+    degraded: bool = False,
+    failed_shards: "Sequence[int]" = (),
 ) -> "tracestore.StoredTrace":
     """Assemble one request's trace from the flush loop's time marks.
 
@@ -187,6 +198,9 @@ def _request_trace(
         attrs["source"] = source
     if error:
         attrs["error"] = error
+    if degraded:
+        attrs["degraded"] = True
+        attrs["failed_shards"] = [int(s) for s in failed_shards]
     links = [flush_tid] if flush_tid else []
     if links:
         attrs["links"] = links
@@ -216,6 +230,7 @@ def _request_trace(
         duration_ms=1e3 * root.duration_seconds,
         error=bool(error),
         fallback=source in ("serial", "scan"),
+        degraded=bool(degraded),
         links=links,
     )
 
@@ -265,6 +280,7 @@ class QueryService:
             "fallback_batch": 0,
             "fallback_serial": 0,
             "fallback_scan": 0,
+            "degraded_answers": 0,
         }
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-flush", daemon=True
@@ -481,6 +497,7 @@ class QueryService:
         flush_end_pc = time.perf_counter()
         done = time.monotonic()
         delivered = 0
+        degraded_delivered = 0
         with self._cond:
             self._stats["flushes"] += 1
             self._stats["batched_requests"] += len(live)
@@ -495,12 +512,20 @@ class QueryService:
                     result.source,
                     latency_ms=1e3 * (done - request.enqueued_at),
                     trace_id=request.trace_id,
+                    degraded=result.degraded,
+                    failed_shards=result.failed_shards,
+                    shards_answered=result.shards_answered,
                 )
                 self._stats["completed"] += 1
                 delivered += 1
+                if result.degraded:
+                    self._stats["degraded_answers"] += 1
+                    degraded_delivered += 1
                 request.event.set()
         if delivered:
             metrics.inc("serve.completed", delivered)
+        if degraded_delivered:
+            metrics.inc("serve.degraded_answers", degraded_delivered)
         for request in live:
             if request.result is None:
                 continue
@@ -511,6 +536,8 @@ class QueryService:
                     _request_trace(
                         request, pickup_pc, flush_end_pc, flush_tid,
                         source=request.result.source,
+                        degraded=request.result.degraded,
+                        failed_shards=request.result.failed_shards,
                     )
                 )
             metrics.observe(
@@ -529,6 +556,8 @@ class QueryService:
                 sources=sources,
                 duration_ms=1e3 * (done - now),
             )
+            if degraded_delivered:
+                fields["degraded_answers"] = degraded_delivered
             if flush_tid is not None:
                 fields["trace_id"] = flush_tid
             events.emit("flush", **fields)
@@ -550,7 +579,18 @@ class QueryService:
             ids, dists, info = self._batch_fn(points)
             return (
                 [
-                    QueryResult(int(i), float(d), "batch")
+                    QueryResult(
+                        int(i),
+                        float(d),
+                        "batch",
+                        degraded=getattr(info, "degraded", False),
+                        failed_shards=tuple(
+                            getattr(info, "failed_shards", ())
+                        ),
+                        shards_answered=getattr(
+                            info, "shards_answered", None
+                        ),
+                    )
                     for i, d in zip(ids, dists)
                 ],
                 int(info.pages),
@@ -565,7 +605,18 @@ class QueryService:
             try:
                 point_id, distance, info = self.index.nearest(request.point)
                 results.append(
-                    QueryResult(int(point_id), float(distance), "serial")
+                    QueryResult(
+                        int(point_id),
+                        float(distance),
+                        "serial",
+                        degraded=getattr(info, "degraded", False),
+                        failed_shards=tuple(
+                            getattr(info, "failed_shards", ())
+                        ),
+                        shards_answered=getattr(
+                            info, "shards_answered", None
+                        ),
+                    )
                 )
                 pages += int(info.pages)
                 with self._cond:

@@ -1,0 +1,64 @@
+"""Typed failures of the sharded scatter-gather layer.
+
+Mirrors the serving layer's philosophy (:mod:`repro.serve.errors`):
+every way a scatter can fail to produce a complete answer gets a typed
+exception carrying the *account* — which shards failed, and why — so
+callers and drills never pattern-match message strings.  Note that with
+``ResilienceConfig.allow_partial`` these are mostly *not* raised: a
+scatter that lost some (but not all) shards answers degraded instead,
+and only :class:`AllShardsFailed` remains possible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["AllShardsFailed", "ShardError", "ShardProbeError"]
+
+
+class ShardError(Exception):
+    """Base class of every sharding-layer failure."""
+
+    code = "shard_error"
+
+
+class ShardProbeError(ShardError):
+    """One or more shard probes failed permanently (retries exhausted).
+
+    Raised by a resilient scatter running *without* ``allow_partial``:
+    completeness is required, a shard could not answer, so the whole
+    query fails — explicitly, with the casualty list attached.
+    """
+
+    code = "shard_probe_failed"
+
+    def __init__(
+        self, failed: "Sequence[Tuple[int, str]]", n_shards: int
+    ):
+        #: ``(shard id, reason)`` pairs; reason is ``"timeout"`` or
+        #: ``"error"``.
+        self.failed: "Tuple[Tuple[int, str], ...]" = tuple(
+            (int(s), str(reason)) for s, reason in failed
+        )
+        self.n_shards = int(n_shards)
+        casualties = ", ".join(
+            f"shard {s} ({reason})" for s, reason in self.failed
+        )
+        super().__init__(
+            f"{len(self.failed)}/{self.n_shards} shard probes failed"
+            f" permanently: {casualties}"
+        )
+
+    @property
+    def failed_shards(self) -> "Tuple[int, ...]":
+        return tuple(s for s, __ in self.failed)
+
+
+class AllShardsFailed(ShardProbeError):
+    """Every live shard failed — there is no partial answer to give.
+
+    Raised even under ``allow_partial``: a degraded answer still needs
+    at least one shard's candidates.
+    """
+
+    code = "all_shards_failed"

@@ -1,0 +1,306 @@
+"""Tail-tolerant scatter: timeouts, retries, hedges, partial answers.
+
+The exact scatter-gather of :class:`~repro.shard.ShardedNNCellIndex`
+is only as fast — and as available — as its slowest probe.  This module
+supplies the mitigation policy and the gather loop that enforces it:
+
+* **Per-probe timeouts** (``probe_timeout_ms``): an attempt that
+  outlives its budget is abandoned (the probe thread unwinds on its
+  own; its late answer is discarded) and the shard moves on.
+* **Exponential-backoff retries** (``max_retries`` /
+  ``backoff_base_ms`` / ``backoff_factor``): a timed-out or raising
+  attempt is re-submitted after ``base * factor**(k-1)`` — probes are
+  pure reads of an immutable index, so a retry is always safe.
+* **Hedged probes** (``hedge_after_ms``): an attempt still unanswered
+  after the hedge delay gets a concurrent duplicate; the first to
+  finish wins and the loser's answer is discarded unread.  Hedging
+  converts a per-attempt slow probability *p* into *p²* — the classic
+  tail-at-scale move.
+* **Graceful degradation** (``allow_partial``): a shard whose retries
+  are exhausted is recorded as a casualty and the gather answers from
+  the survivors, explicitly marked degraded with the casualty list —
+  instead of failing the whole query.  Without ``allow_partial`` the
+  gather raises a typed :class:`~repro.shard.errors.ShardProbeError`.
+
+Delivery is exactly-once per shard by construction: a shard leaves the
+pending set the moment its first successful attempt resolves, and every
+other in-flight attempt for it (hedge twin, abandoned timeout) finds
+the shard already resolved and is dropped.  The property suite
+(``tests/shard/test_resilience_property.py``) asserts both this and the
+never-silently-wrong contract under arbitrary fault schedules.
+
+Every decision is counted: ``shard.retry`` / ``shard.hedge`` /
+``shard.timeout`` metrics here, ``shard.degraded`` at the merge (in
+:mod:`repro.shard.sharded`).  Tuning guidance: ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import metrics
+from .errors import AllShardsFailed, ShardProbeError
+
+__all__ = ["ResilienceConfig", "ScatterReport", "resilient_gather"]
+
+#: Reasons a shard can fail permanently.
+REASON_TIMEOUT = "timeout"
+REASON_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The scatter-gather mitigation policy of one sharded index.
+
+    Everything defaults to *off*/strict: no timeout, no hedging, two
+    retries against raised exceptions, completeness required.  The
+    serve CLI surfaces the three load-bearing knobs as
+    ``--shard-timeout-ms`` / ``--hedge-after-ms`` / ``--allow-partial``.
+    """
+
+    #: Per-attempt budget, milliseconds; ``None`` waits forever (an
+    #: exception still fails the attempt immediately).
+    probe_timeout_ms: "Optional[float]" = None
+    #: Extra attempts after the first, per shard.
+    max_retries: int = 2
+    #: Backoff before retry ``k``: ``backoff_base_ms * factor**(k-1)``.
+    backoff_base_ms: float = 1.0
+    backoff_factor: float = 2.0
+    #: Launch a duplicate probe this long into an unanswered attempt;
+    #: ``None`` disables hedging.
+    hedge_after_ms: "Optional[float]" = None
+    #: Answer degraded from the surviving shards instead of raising
+    #: when some (not all) shards fail permanently.
+    allow_partial: bool = False
+
+    def __post_init__(self):
+        if self.probe_timeout_ms is not None and self.probe_timeout_ms <= 0:
+            raise ValueError("probe_timeout_ms must be > 0 or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_ms < 0.0:
+            raise ValueError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
+            raise ValueError("hedge_after_ms must be > 0 or None")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to wait before starting attempt ``attempt`` (1-based
+        retries: attempt 2 is the first retry)."""
+        return (
+            self.backoff_base_ms
+            * self.backoff_factor ** max(0, attempt - 2)
+        ) / 1e3
+
+
+@dataclass(frozen=True)
+class ScatterReport:
+    """What one resilient gather did: who answered, who did not, and
+    how hard the mitigation had to work."""
+
+    #: Live shards the gather probed.
+    n_shards: int
+    #: Shard ids that answered, ascending.
+    answered: "Tuple[int, ...]"
+    #: ``(shard id, reason)`` permanent casualties, ascending by shard.
+    failed: "Tuple[Tuple[int, str], ...]" = ()
+    retries: int = 0
+    hedges: int = 0
+    timeouts: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the answer is missing any probed shard."""
+        return bool(self.failed)
+
+    @property
+    def shards_answered(self) -> int:
+        return len(self.answered)
+
+    @property
+    def failed_shards(self) -> "Tuple[int, ...]":
+        return tuple(s for s, __ in self.failed)
+
+
+#: Clean (non-resilient) gathers share one constant all-answered report
+#: shape via this helper.
+def complete_report(shard_ids: "Sequence[int]") -> ScatterReport:
+    """The report of a gather in which every probed shard answered."""
+    ids = tuple(sorted(int(s) for s in shard_ids))
+    return ScatterReport(n_shards=len(ids), answered=ids)
+
+
+class _ShardState:
+    """Gather-loop bookkeeping of one shard's attempt lifecycle."""
+
+    __slots__ = (
+        "shard", "futures", "attempts", "deadline", "hedge_at", "hedged",
+        "backoff_until",
+    )
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.futures: "List[Future]" = []
+        self.attempts = 0
+        self.deadline: "Optional[float]" = None
+        self.hedge_at: "Optional[float]" = None
+        self.hedged = False
+        self.backoff_until: "Optional[float]" = None
+
+
+def resilient_gather(
+    shard_ids: "Sequence[int]",
+    submit: "Callable[[int], Future]",
+    config: ResilienceConfig,
+) -> "Tuple[List[Tuple[int, object]], ScatterReport]":
+    """Probe every shard under the mitigation policy; gather survivors.
+
+    ``submit(shard_id)`` launches one probe attempt on the scatter pool
+    and returns its future (the caller wraps tracing/chaos/metrics).
+    Returns ``(results, report)`` with ``results`` in ascending shard
+    order.  Raises :class:`ShardProbeError` when completeness is
+    required and violated, :class:`AllShardsFailed` when nobody
+    answered (regardless of ``allow_partial``).
+    """
+    timeout_s = (
+        None if config.probe_timeout_ms is None
+        else config.probe_timeout_ms / 1e3
+    )
+    hedge_s = (
+        None if config.hedge_after_ms is None
+        else config.hedge_after_ms / 1e3
+    )
+
+    pending: "Dict[int, _ShardState]" = {}
+    results: "Dict[int, object]" = {}
+    failed: "List[Tuple[int, str]]" = []
+    retries = hedges = timeouts = 0
+
+    def start_attempt(state: _ShardState, now: float) -> None:
+        state.attempts += 1
+        state.backoff_until = None
+        state.hedged = False
+        state.deadline = None if timeout_s is None else now + timeout_s
+        state.hedge_at = None if hedge_s is None else now + hedge_s
+        state.futures = [submit(state.shard)]
+
+    def attempt_failed(state: _ShardState, reason: str, now: float) -> None:
+        nonlocal retries
+        for future in state.futures:
+            future.cancel()  # best effort; running attempts just unwind
+        state.futures = []
+        if state.attempts <= config.max_retries:
+            retries += 1
+            metrics.inc("shard.retry")
+            state.backoff_until = now + config.backoff_s(state.attempts + 1)
+            state.deadline = None
+            state.hedge_at = None
+        else:
+            del pending[state.shard]
+            failed.append((state.shard, reason))
+            if not config.allow_partial:
+                raise ShardProbeError(sorted(failed), len(shard_ids))
+
+    now = time.monotonic()
+    for shard in shard_ids:
+        state = _ShardState(int(shard))
+        pending[state.shard] = state
+        start_attempt(state, now)
+
+    while pending:
+        now = time.monotonic()
+        next_event: "Optional[float]" = None
+
+        for state in list(pending.values()):
+            # 1. Harvest finished futures: first success resolves the
+            #    shard; an attempt whose futures ALL raised has failed.
+            #    (Counted fresh each pass — a hedged attempt with one
+            #    raised and one running future must keep waiting.)
+            resolved = False
+            raised = 0
+            for future in state.futures:
+                if future.cancelled() or not future.done():
+                    continue
+                if future.exception() is None:
+                    results[state.shard] = future.result()
+                    del pending[state.shard]
+                    resolved = True
+                    break
+                raised += 1
+            if resolved:
+                continue
+            if state.futures and raised >= len(state.futures):
+                attempt_failed(state, REASON_ERROR, now)
+
+        for state in list(pending.values()):
+            now = time.monotonic()
+            # 2. Backoff expiry -> next attempt.
+            if state.backoff_until is not None:
+                if now >= state.backoff_until:
+                    start_attempt(state, now)
+                else:
+                    next_event = _min_event(next_event, state.backoff_until)
+                    continue
+            # 3. Attempt timeout.
+            if state.deadline is not None and now >= state.deadline:
+                timeouts += 1
+                metrics.inc("shard.timeout")
+                attempt_failed(state, REASON_TIMEOUT, now)
+                if state.backoff_until is not None:
+                    next_event = _min_event(next_event, state.backoff_until)
+                continue
+            next_event = _min_event(next_event, state.deadline)
+            # 4. Hedge launch.
+            if state.hedge_at is not None and not state.hedged:
+                if now >= state.hedge_at:
+                    state.hedged = True
+                    hedges += 1
+                    metrics.inc("shard.hedge")
+                    state.futures.append(submit(state.shard))
+                else:
+                    next_event = _min_event(next_event, state.hedge_at)
+
+        live = [
+            future
+            for state in pending.values()
+            for future in state.futures
+            if not future.done()
+        ]
+        if not pending:
+            break
+        now = time.monotonic()
+        wait_s = (
+            None if next_event is None else max(0.0, next_event - now)
+        )
+        if live:
+            wait(live, timeout=wait_s, return_when=FIRST_COMPLETED)
+        elif wait_s is not None and wait_s > 0:
+            time.sleep(min(wait_s, 0.05))
+        # else: states flipped just now; loop again immediately.
+
+    if not results:
+        raise AllShardsFailed(sorted(failed), len(shard_ids))
+
+    report = ScatterReport(
+        n_shards=len(shard_ids),
+        answered=tuple(sorted(results)),
+        failed=tuple(sorted(failed)),
+        retries=retries,
+        hedges=hedges,
+        timeouts=timeouts,
+    )
+    return [(s, results[s]) for s in sorted(results)], report
+
+
+def _min_event(
+    current: "Optional[float]", candidate: "Optional[float]"
+) -> "Optional[float]":
+    if candidate is None:
+        return current
+    if current is None:
+        return candidate
+    return min(current, candidate)

@@ -56,6 +56,12 @@ from ..geometry.mbr import MBR
 from ..obs import metrics
 from ..obs.tracing import carrier, span
 from .partition import PARTITIONER_KINDS, make_partitioner
+from .resilience import (
+    ResilienceConfig,
+    ScatterReport,
+    complete_report,
+    resilient_gather,
+)
 
 __all__ = ["ShardConfig", "ShardedNNCellIndex"]
 
@@ -137,6 +143,8 @@ class ShardedNNCellIndex:
         self._shard_of: "List[int]" = []
         self._local_of: "List[int]" = []
         self._pool: "Optional[ThreadPoolExecutor]" = None
+        self._resilience: "Optional[ResilienceConfig]" = None
+        self._chaos = None  # fault-injection hook (repro.chaos)
         self._build()
 
     # ==================================================================
@@ -194,6 +202,8 @@ class ShardedNNCellIndex:
         self._shard_of = shard_of
         self._local_of = local_of
         self._pool = None
+        self._resilience = None
+        self._chaos = None
         return self
 
     def _build(self) -> None:
@@ -254,46 +264,123 @@ class ShardedNNCellIndex:
             if shard is not None
         ]
 
+    def set_resilience(self, config: "Optional[ResilienceConfig]") -> None:
+        """Install (or, with ``None``, remove) the scatter mitigation policy.
+
+        With a policy installed every scatter runs through
+        :func:`repro.shard.resilience.resilient_gather` — per-probe
+        timeouts, backoff retries, hedging, optional partial answers —
+        and query infos carry ``degraded``/``failed_shards``.  Without
+        one, the original wait-for-everything gather runs unchanged.
+        The scatter pool is rebuilt on the next query (a resilient pool
+        carries headroom for hedges and retries).
+        """
+        if config is not None and not isinstance(config, ResilienceConfig):
+            raise TypeError("expected a ResilienceConfig or None")
+        self._resilience = config
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def resilience(self) -> "Optional[ResilienceConfig]":
+        return self._resilience
+
+    def set_chaos(self, injector) -> None:
+        """Install (or, with ``None``, remove) a fault injector.
+
+        ``injector`` duck-types :class:`repro.chaos.ChaosInjector`: its
+        ``before_probe(shard)`` runs inside every ``shard.probe`` span
+        and may sleep or raise.  The hook is a single ``is None`` check
+        when disabled — production scatters pay nothing.
+        """
+        self._chaos = injector
+
     def _scatter_pool(self) -> "Optional[ThreadPoolExecutor]":
-        """The persistent fan-out pool (``None`` = scatter inline)."""
+        """The persistent fan-out pool (``None`` = scatter inline).
+
+        A resilient scatter always gets a pool — timeouts and hedges
+        need probes the gather thread does not sit behind — and it is
+        oversized 2x so hedge duplicates and retries of stuck probes
+        never queue behind the stragglers they are meant to beat.
+        """
         workers = self.shard_config.query_workers
-        if workers == 1 or self.shard_config.n_shards == 1:
+        resilient = self._resilience is not None
+        if not resilient and (
+            workers == 1 or self.shard_config.n_shards == 1
+        ):
             return None
         if self._pool is None:
             size = self.shard_config.n_shards if workers == 0 else workers
+            size = min(size, self.shard_config.n_shards)
+            if resilient:
+                size = max(2 * self.shard_config.n_shards, 2)
             self._pool = ThreadPoolExecutor(
-                max_workers=min(size, self.shard_config.n_shards),
+                max_workers=size,
                 thread_name_prefix="repro-shard",
             )
         return self._pool
 
     def _scatter(
         self, probe: "Callable[[NNCellIndex], object]"
-    ) -> "List[Tuple[int, object]]":
+    ) -> "Tuple[List[Tuple[int, object]], ScatterReport]":
         """Run ``probe`` against every live shard; results in shard order.
 
         Each probe runs under a ``shard.probe`` span re-entered from the
         submitting context (:func:`repro.obs.tracing.carrier`), so shard
         work nests beneath the caller's span — a serve flush span
         contains the scatter — and carries the request's trace id.
+
+        Returns ``(results, report)``: with no resilience policy the
+        report is trivially complete (and a shard exception propagates,
+        exactly as before); with one, the report accounts retries,
+        hedges, timeouts and — under ``allow_partial`` — the shards
+        missing from a degraded answer.
         """
         live = self._live_shards()
-        pool = self._scatter_pool() if len(live) > 1 else None
+        resilience = self._resilience
+        chaos = self._chaos
+        pool = (
+            self._scatter_pool()
+            if (len(live) > 1 or resilience is not None)
+            else None
+        )
         submit_ctx = carrier()
 
         def run(item: "Tuple[int, NNCellIndex]"):
             s, shard = item
             with span("shard.probe", shard=s):
+                if chaos is not None:
+                    chaos.before_probe(s)
                 return probe(shard)
 
         metrics.observe("shard.fanout", len(live))
-        if pool is None:
-            return [(s, run((s, shard))) for s, shard in live]
-        futures = [
-            (s, pool.submit(submit_ctx.call, run, (s, shard)))
-            for s, shard in live
-        ]
-        return [(s, f.result()) for s, f in futures]
+        if resilience is None:
+            if pool is None:
+                return (
+                    [(s, run((s, shard))) for s, shard in live],
+                    complete_report([s for s, __ in live]),
+                )
+            futures = [
+                (s, pool.submit(submit_ctx.call, run, (s, shard)))
+                for s, shard in live
+            ]
+            return (
+                [(s, f.result()) for s, f in futures],
+                complete_report([s for s, __ in live]),
+            )
+
+        shards = dict(live)
+
+        def submit(s: int):
+            return pool.submit(submit_ctx.call, run, (s, shards[s]))
+
+        results, report = resilient_gather(
+            [s for s, __ in live], submit, resilience
+        )
+        if report.degraded:
+            metrics.inc("shard.degraded")
+        return results, report
 
     def close(self) -> None:
         """Shut the scatter pool down (idempotent)."""
@@ -324,7 +411,7 @@ class ShardedNNCellIndex:
             raise ValueError(f"query must be a {self.dim}-vector")
         info = QueryInfo()
         with span("shard.nearest", dim=self.dim) as root:
-            gathered = self._scatter(lambda shard: shard.nearest(q))
+            gathered, report = self._scatter(lambda shard: shard.nearest(q))
             with span("shard.merge", results=len(gathered)):
                 best_gid, best_dist = -1, np.inf
                 for s, (local, dist, shard_info) in gathered:
@@ -342,8 +429,14 @@ class ShardedNNCellIndex:
                     info.retried_atol = (
                         info.retried_atol or shard_info.retried_atol
                     )
+            info.degraded = report.degraded
+            info.failed_shards = report.failed_shards
+            info.shards_answered = report.shards_answered
             root.set("candidates", info.n_candidates)
             root.set("pages", info.pages)
+            if report.degraded:
+                root.set("degraded", True)
+                root.set("failed_shards", list(report.failed_shards))
         metrics.inc("shard.query.count")
         metrics.observe("shard.query.pages", info.pages)
         return int(best_gid), float(best_dist), info
@@ -365,7 +458,9 @@ class ShardedNNCellIndex:
         k_eff = min(k, len(self))
         info = QueryInfo()
         with span("shard.k_nearest", dim=self.dim, k=k_eff) as root:
-            gathered = self._scatter(lambda shard: shard.k_nearest(q, k))
+            gathered, report = self._scatter(
+                lambda shard: shard.k_nearest(q, k)
+            )
             with span("shard.merge", results=len(gathered)):
                 merged: "List[Tuple[float, int]]" = []
                 for s, (ids, dists, shard_info) in gathered:
@@ -384,8 +479,14 @@ class ShardedNNCellIndex:
                     )
                 merged.sort()
                 merged = merged[:k_eff]
+            info.degraded = report.degraded
+            info.failed_shards = report.failed_shards
+            info.shards_answered = report.shards_answered
             root.set("candidates", info.n_candidates)
             root.set("pages", info.pages)
+            if report.degraded:
+                root.set("degraded", True)
+                root.set("failed_shards", list(report.failed_shards))
         metrics.inc("shard.query.count")
         metrics.observe("shard.query.pages", info.pages)
         return (
@@ -417,7 +518,7 @@ class ShardedNNCellIndex:
             dists[:] = np.nan
             return ids, dists, info
         with span("shard.query_batch", n_queries=m) as root:
-            gathered = self._scatter(
+            gathered, report = self._scatter(
                 lambda shard: shard.query_batch(qs, batch_size=batch_size)
             )
             with span("shard.merge", results=len(gathered)):
@@ -434,8 +535,14 @@ class ShardedNNCellIndex:
                     info.fallbacks += binfo.fallbacks
                     info.retried_atol += binfo.retried_atol
                     info.n_batches += binfo.n_batches
+            info.degraded = report.degraded
+            info.failed_shards = report.failed_shards
+            info.shards_answered = report.shards_answered
             root.set("pages", info.pages)
             root.set("candidates", info.n_candidates)
+            if report.degraded:
+                root.set("degraded", True)
+                root.set("failed_shards", list(report.failed_shards))
         metrics.inc("shard.batch.count")
         metrics.inc("shard.batch.queries", m)
         metrics.observe("shard.query.pages", info.pages)
@@ -459,7 +566,7 @@ class ShardedNNCellIndex:
         q = np.asarray(query, dtype=np.float64)
         if q.shape != (self.dim,):
             raise ValueError(f"query must be a {self.dim}-vector")
-        gathered = self._scatter(lambda shard: shard.explain(q))
+        gathered, report = self._scatter(lambda shard: shard.explain(q))
         best: "Optional[Tuple[float, int, QueryExplain]]" = None
         rectangles = []
         candidates: "List[Tuple[int, float]]" = []
@@ -493,6 +600,9 @@ class ShardedNNCellIndex:
             candidates=candidates,
             nodes_visited=visited,
             pages=pages,
+            degraded=report.degraded,
+            failed_shards=report.failed_shards,
+            shards_answered=report.shards_answered,
         )
 
     # ==================================================================

@@ -80,6 +80,12 @@ class PageManager:
     caching so every logical read is also a physical read.
     """
 
+    #: Transient-read retry budget: a chaos-injected
+    #: :class:`~repro.chaos.faults.FlakyPageRead` is re-attempted this
+    #: many times before propagating to the caller (and, in a sharded
+    #: deployment, failing that probe attempt).
+    FLAKY_READ_RETRIES = 3
+
     def __init__(
         self,
         page_size: int = DEFAULT_PAGE_SIZE,
@@ -96,6 +102,7 @@ class PageManager:
         self._cache: Optional[LRUCache] = (
             LRUCache(cache_pages) if cache_pages else None
         )
+        self._chaos = None  # fault-injection hook (repro.chaos)
 
     # ------------------------------------------------------------------
     # Sizing
@@ -123,11 +130,38 @@ class PageManager:
         self._cache_put(page_id, n_blocks)
         return page_id
 
+    def set_chaos(self, injector) -> None:
+        """Install (or, with ``None``, remove) a read-fault injector.
+
+        ``injector`` duck-types :class:`repro.chaos.ChaosInjector`: its
+        ``page_read(page_id)`` runs per read attempt and may raise
+        :class:`~repro.chaos.faults.FlakyPageRead`.  Reads retry up to
+        :attr:`FLAKY_READ_RETRIES` times (counting
+        ``storage.flaky_reads``) before the fault propagates.  A single
+        ``is None`` check when disabled — clean reads pay nothing.
+        """
+        self._chaos = injector
+
+    def _chaos_read(self, page_id: int) -> None:
+        from ..chaos.faults import FlakyPageRead  # stdlib-only module
+
+        last: "Optional[BaseException]" = None
+        for __ in range(self.FLAKY_READ_RETRIES + 1):
+            try:
+                self._chaos.page_read(page_id)
+                return
+            except FlakyPageRead as err:
+                metrics.inc("storage.flaky_reads")
+                last = err
+        raise last
+
     def read(self, page_id: int) -> Any:
         """Fetch a page payload, counting the access."""
         page = self._pages.get(page_id)
         if page is None:
             raise KeyError(f"page {page_id} does not exist")
+        if self._chaos is not None:
+            self._chaos_read(page_id)
         self.stats.logical_reads += page.n_blocks
         metrics.inc("storage.logical_reads", page.n_blocks)
         if self._cache is None:

@@ -1,0 +1,200 @@
+"""Unit tests for the fault-injection primitives (`repro.chaos.faults`).
+
+The injector's whole value is *reproducibility*: same plan + same seed
+must make the same decisions, and the deterministic ``*_first``
+counters must fire regardless of RNG draws.  These tests pin that down,
+plus validation, counting, and stuck-probe release semantics.
+"""
+
+import threading
+
+import pytest
+
+from repro.chaos import (
+    ChaosInjector,
+    FaultPlan,
+    FlakyPageRead,
+    InjectedFault,
+    PageFaults,
+    ShardFaults,
+    StuckProbe,
+)
+
+
+class TestValidation:
+    def test_probabilities_bounded(self):
+        for kwargs in (
+            {"slow_p": -0.1}, {"slow_p": 1.1},
+            {"fail_p": 2.0}, {"stuck_p": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                ShardFaults(**kwargs)
+
+    def test_counters_and_durations_nonnegative(self):
+        with pytest.raises(ValueError):
+            ShardFaults(slow_ms=-1.0)
+        with pytest.raises(ValueError):
+            ShardFaults(fail_first=-1)
+        with pytest.raises(ValueError):
+            ShardFaults(stuck_first=-2)
+        with pytest.raises(ValueError):
+            ShardFaults(stuck_ms=-0.5)
+        with pytest.raises(ValueError):
+            PageFaults(flaky_p=1.5)
+        with pytest.raises(ValueError):
+            PageFaults(flaky_first=-1)
+
+    def test_any_active(self):
+        assert not ShardFaults().any_active
+        assert ShardFaults(fail_first=1).any_active
+        assert ShardFaults(slow_p=0.1, slow_ms=5.0).any_active
+        assert not PageFaults().any_active
+        assert PageFaults(flaky_p=0.5).any_active
+
+    def test_faults_of_falls_back_to_default(self):
+        plan = FaultPlan(
+            shards={1: ShardFaults(fail_p=1.0)},
+            default=ShardFaults(slow_p=0.5, slow_ms=1.0),
+        )
+        assert plan.faults_of(1).fail_p == 1.0
+        assert plan.faults_of(0).slow_p == 0.5
+
+
+class TestDeterministicCounters:
+    def test_fail_first_fires_exactly_n_times(self):
+        plan = FaultPlan(shards={0: ShardFaults(fail_first=3)})
+        injector = ChaosInjector(plan)
+        for __ in range(3):
+            with pytest.raises(InjectedFault):
+                injector.before_probe(0)
+        # Fourth and later probes behave.
+        injector.before_probe(0)
+        injector.before_probe(0)
+        assert injector.total("fail") == 3
+        assert injector.counts()["shard0.fail"] == 3
+
+    def test_fail_first_is_per_shard(self):
+        plan = FaultPlan(shards={
+            0: ShardFaults(fail_first=1),
+            1: ShardFaults(fail_first=2),
+        })
+        injector = ChaosInjector(plan)
+        with pytest.raises(InjectedFault):
+            injector.before_probe(0)
+        injector.before_probe(0)  # shard 0 spent its budget
+        with pytest.raises(InjectedFault):
+            injector.before_probe(1)
+        with pytest.raises(InjectedFault):
+            injector.before_probe(1)
+        injector.before_probe(1)
+        assert injector.counts() == {
+            "fail": 3, "shard0.fail": 1, "shard1.fail": 2,
+        }
+
+    def test_flaky_first_counts_down_then_behaves(self):
+        plan = FaultPlan(pages=PageFaults(flaky_first=2))
+        injector = ChaosInjector(plan)
+        with pytest.raises(FlakyPageRead):
+            injector.page_read(7)
+        with pytest.raises(FlakyPageRead):
+            injector.page_read(8)
+        injector.page_read(9)
+        assert injector.total("flaky_page") == 2
+
+    def test_healthy_shard_pays_nothing(self):
+        injector = ChaosInjector(FaultPlan())
+        for shard in range(8):
+            injector.before_probe(shard)
+        injector.page_read(0)
+        assert injector.counts() == {}
+
+
+class TestSeededReproducibility:
+    def _decisions(self, seed, n=200):
+        plan = FaultPlan(
+            shards={0: ShardFaults(fail_p=0.3)}, seed=seed,
+        )
+        injector = ChaosInjector(plan)
+        outcome = []
+        for __ in range(n):
+            try:
+                injector.before_probe(0)
+                outcome.append(0)
+            except InjectedFault:
+                outcome.append(1)
+        return outcome, injector.counts()
+
+    def test_same_seed_same_decisions(self):
+        a, counts_a = self._decisions(seed=42)
+        b, counts_b = self._decisions(seed=42)
+        assert a == b
+        assert counts_a == counts_b
+        assert 0 < sum(a) < len(a)  # the mix actually mixes
+
+    def test_different_seed_different_decisions(self):
+        a, __ = self._decisions(seed=1)
+        b, __ = self._decisions(seed=2)
+        assert a != b
+
+
+class TestStuckProbes:
+    def test_stuck_ms_elapses_like_slow_probe(self):
+        plan = FaultPlan(
+            shards={0: ShardFaults(stuck_first=1, stuck_ms=10.0)},
+        )
+        injector = ChaosInjector(plan)
+        injector.before_probe(0)  # blocks ~10 ms, then returns normally
+        assert injector.total("stuck") == 1
+
+    def test_release_unwinds_blocked_probe_with_typed_error(self):
+        plan = FaultPlan(
+            shards={0: ShardFaults(stuck_first=1, stuck_ms=None)},
+        )
+        injector = ChaosInjector(plan)
+        errors = []
+        started = threading.Event()
+
+        def probe():
+            started.set()
+            try:
+                injector.before_probe(0)
+            except BaseException as err:  # noqa: BLE001 - recorded below
+                errors.append(err)
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        assert started.wait(1.0)
+        injector.release()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        assert isinstance(errors[0], StuckProbe)
+
+    def test_release_is_idempotent(self):
+        injector = ChaosInjector(FaultPlan())
+        injector.release()
+        injector.release()
+
+    def test_context_manager_releases(self):
+        plan = FaultPlan(
+            shards={0: ShardFaults(stuck_first=1, stuck_ms=None)},
+        )
+        done = threading.Event()
+        with ChaosInjector(plan) as injector:
+            def probe():
+                with pytest.raises(StuckProbe):
+                    injector.before_probe(0)
+                done.set()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+        assert done.wait(2.0)
+
+
+class TestTypedErrors:
+    def test_fault_hierarchy(self):
+        assert issubclass(FlakyPageRead, InjectedFault)
+        assert issubclass(StuckProbe, InjectedFault)
+        assert InjectedFault.code == "injected_fault"
+        assert FlakyPageRead.code == "flaky_page_read"
+        assert StuckProbe.code == "stuck_probe"

@@ -1,0 +1,131 @@
+"""Invariants of the modelled-clock scatter simulation (`repro.chaos.model`).
+
+``benchmarks/bench_chaos.py`` publishes these numbers and CI gates on
+them, so the model's ordering properties — and the >= 3x hedged-vs-none
+p99 improvement on the default workload — are asserted here first.
+"""
+
+import pytest
+
+from repro.chaos import ScatterModel, percentile, simulate
+
+N = 4000  # queries per simulated policy; enough for a stable p99
+
+
+@pytest.fixture(scope="module")
+def runs():
+    model = ScatterModel()
+    return {
+        policy: simulate(model, policy, n_queries=N, seed=7)
+        for policy in ("none", "timeout", "hedge", "partial")
+    }
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+
+    def test_empty_and_bounds(self):
+        assert percentile([], 99.0) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestValidation:
+    def test_model_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ScatterModel(n_shards=0)
+        with pytest.raises(ValueError):
+            ScatterModel(slow_p=1.5)
+        with pytest.raises(ValueError):
+            ScatterModel(timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            ScatterModel(max_retries=-1)
+
+    def test_simulate_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate(ScatterModel(), "prayer")
+        with pytest.raises(ValueError):
+            simulate(ScatterModel(), "none", n_queries=0)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self):
+        model = ScatterModel()
+        a = simulate(model, "hedge", n_queries=500, seed=3)
+        b = simulate(model, "hedge", n_queries=500, seed=3)
+        assert a.latencies_ms == b.latencies_ms
+        assert a.summary() == b.summary()
+
+    def test_no_faults_means_flat_base_latency(self):
+        model = ScatterModel(slow_p=0.0)
+        for policy in ("none", "timeout", "hedge", "partial"):
+            result = simulate(model, policy, n_queries=100, seed=0)
+            assert all(
+                lat == pytest.approx(model.base_ms)
+                for lat in result.latencies_ms
+            )
+            # Hedges still launch (base_ms > hedge_after_ms) but nothing
+            # needs rescuing: no retries, timeouts or degradation.
+            assert result.retries == result.timeouts == 0
+            assert result.degraded == 0
+
+
+class TestPolicyOrdering:
+    """The mitigations must actually mitigate, in the expected order."""
+
+    def test_unmitigated_p99_hits_the_slow_shard(self, runs):
+        # With slow_p=0.15 the slow shard spikes well above the 99th
+        # percentile's threshold, so unmitigated p99 is the full spike.
+        assert runs["none"].p(99.0) == pytest.approx(
+            ScatterModel().slow_ms
+        )
+
+    def test_each_mitigation_tier_improves_p99(self, runs):
+        p99 = {name: run.p(99.0) for name, run in runs.items()}
+        assert p99["timeout"] < p99["none"]
+        assert p99["hedge"] < p99["timeout"]
+        assert p99["partial"] <= p99["hedge"]
+
+    def test_hedged_p99_improves_at_least_3x(self, runs):
+        """The acceptance gate BENCH_chaos.json is built on."""
+        ratio = runs["none"].p(99.0) / runs["hedge"].p(99.0)
+        assert ratio >= 3.0
+
+    def test_mitigated_runs_account_their_work(self, runs):
+        assert runs["timeout"].timeouts > 0
+        assert runs["timeout"].retries > 0
+        assert runs["hedge"].hedges > 0
+        # Hedging wins races that retrying would have to grind through.
+        assert runs["hedge"].timeouts < runs["timeout"].timeouts
+
+    def test_partial_caps_latency_at_deadline_and_accounts(self, runs):
+        model = ScatterModel()
+        result = runs["partial"]
+        assert max(result.latencies_ms) <= model.deadline_ms + 1e-9
+        capped = sum(
+            1 for lat in result.latencies_ms
+            if lat == pytest.approx(model.deadline_ms)
+        )
+        assert result.degraded <= capped
+        summary = result.summary()
+        assert summary["degraded_rate"] == pytest.approx(
+            result.degraded / result.n_queries
+        )
+
+    def test_exhausted_shard_contributes_spent_time(self):
+        # Every attempt spikes and every spike times out: completion is
+        # the sum of timeouts and backoffs, never the raw spike latency.
+        model = ScatterModel(slow_p=1.0, max_retries=1)
+        result = simulate(model, "timeout", n_queries=50, seed=0)
+        expected = (
+            2 * model.timeout_ms + model.backoff_base_ms
+        )
+        assert all(
+            lat == pytest.approx(expected) for lat in result.latencies_ms
+        )

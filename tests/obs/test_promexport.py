@@ -269,4 +269,4 @@ class TestWatchdogWiring:
             )
         document = json.loads(body)
         assert document["slo"]["state"] == "ok"
-        assert len(document["slo"]["objectives"]) == 3
+        assert len(document["slo"]["objectives"]) == 4

@@ -57,7 +57,12 @@ class TestSLODeclaration:
 
     def test_defaults_cover_latency_errors_and_overload(self):
         names = {slo.name for slo in DEFAULT_SLOS}
-        assert names == {"latency_p99", "error_rate", "overload_rate"}
+        assert names == {
+            "latency_p99",
+            "error_rate",
+            "overload_rate",
+            "degraded_rate",
+        }
 
 
 class TestBadFraction:
@@ -203,7 +208,12 @@ class TestWatchdogStatus:
         assert status["state"] == STATE_PAGE
         assert status["paging"] is True
         names = [o["name"] for o in status["objectives"]]
-        assert names == ["latency_p99", "error_rate", "overload_rate"]
+        assert names == [
+            "latency_p99",
+            "error_rate",
+            "overload_rate",
+            "degraded_rate",
+        ]
         latency = status["objectives"][0]
         assert latency["state"] == STATE_PAGE
         assert latency["burn"]["60s"] == pytest.approx(100.0)

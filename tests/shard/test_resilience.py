@@ -1,0 +1,350 @@
+"""Unit tests for the tail-tolerant gather (`repro.shard.resilience`)
+and its integration into :class:`ShardedNNCellIndex`.
+
+The gather loop is exercised directly with scripted probes (so each
+mitigation can be triggered on demand), then end-to-end through the
+sharded index with a seeded :class:`ChaosInjector`.
+"""
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.chaos import ChaosInjector, FaultPlan, ShardFaults
+from repro.core.nncell_index import NNCellIndex
+from repro.data import uniform_points
+from repro.obs import metrics
+from repro.shard import (
+    AllShardsFailed,
+    ResilienceConfig,
+    ScatterReport,
+    ShardConfig,
+    ShardedNNCellIndex,
+    ShardProbeError,
+)
+from repro.shard.resilience import complete_report, resilient_gather
+
+
+class ScriptedProbes:
+    """A ``submit`` factory whose attempts follow per-shard scripts.
+
+    Script entries: ``"ok"`` (succeed), ``"fail"`` (raise), or a float
+    (sleep that many seconds, then succeed).  An exhausted script
+    defaults to ``"ok"``.
+    """
+
+    def __init__(self, pool, scripts):
+        self.pool = pool
+        self.scripts = {s: list(seq) for s, seq in scripts.items()}
+        self.submits = Counter()
+        self.deliveries = Counter()
+        self._lock = threading.Lock()
+
+    def submit(self, shard):
+        with self._lock:
+            self.submits[shard] += 1
+            script = self.scripts.get(shard)
+            action = script.pop(0) if script else "ok"
+        return self.pool.submit(self._attempt, shard, action)
+
+    def _attempt(self, shard, action):
+        if isinstance(action, float):
+            time.sleep(action)
+        elif action == "fail":
+            raise RuntimeError(f"scripted failure on shard {shard}")
+        with self._lock:
+            self.deliveries[shard] += 1
+        return f"answer-{shard}"
+
+
+@pytest.fixture()
+def pool():
+    with ThreadPoolExecutor(max_workers=8) as executor:
+        yield executor
+
+
+def gather(pool, scripts, config, shard_ids=None):
+    probes = ScriptedProbes(pool, scripts)
+    ids = list(scripts) if shard_ids is None else shard_ids
+    results, report = resilient_gather(ids, probes.submit, config)
+    return probes, results, report
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(probe_timeout_ms=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff_base_ms=-1.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(hedge_after_ms=-3.0)
+
+    def test_backoff_schedule_is_exponential(self):
+        config = ResilienceConfig(backoff_base_ms=2.0, backoff_factor=3.0)
+        assert config.backoff_s(2) == pytest.approx(0.002)  # first retry
+        assert config.backoff_s(3) == pytest.approx(0.006)
+        assert config.backoff_s(4) == pytest.approx(0.018)
+
+    def test_complete_report(self):
+        report = complete_report([2, 0, 1])
+        assert report == ScatterReport(n_shards=3, answered=(0, 1, 2))
+        assert not report.degraded
+        assert report.shards_answered == 3
+        assert report.failed_shards == ()
+
+
+class TestGatherHappyPath:
+    def test_all_answer_in_shard_order(self, pool):
+        __, results, report = gather(
+            pool, {2: ["ok"], 0: ["ok"], 1: ["ok"]}, ResilienceConfig(),
+        )
+        assert results == [
+            (0, "answer-0"), (1, "answer-1"), (2, "answer-2"),
+        ]
+        assert report.answered == (0, 1, 2)
+        assert not report.degraded
+        assert report.retries == report.hedges == report.timeouts == 0
+
+    def test_each_shard_delivers_exactly_once(self, pool):
+        probes, results, __ = gather(
+            pool, {s: ["ok"] for s in range(4)}, ResilienceConfig(),
+        )
+        shards = [s for s, __ in results]
+        assert shards == sorted(set(shards))
+        assert probes.submits == Counter({0: 1, 1: 1, 2: 1, 3: 1})
+
+
+class TestRetries:
+    def test_transient_failures_are_retried_to_success(self, pool):
+        config = ResilienceConfig(max_retries=2, backoff_base_ms=0.1)
+        probes, results, report = gather(
+            pool, {0: ["fail", "fail", "ok"], 1: ["ok"]}, config,
+        )
+        assert dict(results) == {0: "answer-0", 1: "answer-1"}
+        assert report.retries == 2
+        assert not report.degraded
+        assert probes.submits[0] == 3
+
+    def test_exhausted_retries_raise_typed_error(self, pool):
+        config = ResilienceConfig(max_retries=1, backoff_base_ms=0.1)
+        with pytest.raises(ShardProbeError) as excinfo:
+            gather(pool, {0: ["fail"] * 2, 1: ["ok"]}, config)
+        assert excinfo.value.code == "shard_probe_failed"
+        assert excinfo.value.failed_shards == (0,)
+
+    def test_allow_partial_records_casualty_and_answers(self, pool):
+        config = ResilienceConfig(
+            max_retries=1, backoff_base_ms=0.1, allow_partial=True,
+        )
+        __, results, report = gather(
+            pool, {0: ["fail"] * 2, 1: ["ok"], 2: ["ok"]}, config,
+        )
+        assert dict(results) == {1: "answer-1", 2: "answer-2"}
+        assert report.degraded
+        assert report.failed == ((0, "error"),)
+        assert report.failed_shards == (0,)
+        assert report.shards_answered == 2
+
+    def test_every_shard_dead_raises_even_with_allow_partial(self, pool):
+        config = ResilienceConfig(
+            max_retries=0, backoff_base_ms=0.1, allow_partial=True,
+        )
+        with pytest.raises(AllShardsFailed) as excinfo:
+            gather(pool, {0: ["fail"], 1: ["fail"]}, config)
+        assert excinfo.value.code == "all_shards_failed"
+
+
+class TestTimeouts:
+    def test_slow_probe_times_out_into_degraded_answer(self, pool):
+        config = ResilienceConfig(
+            probe_timeout_ms=40.0, max_retries=0, allow_partial=True,
+        )
+        __, results, report = gather(
+            pool, {0: [0.5], 1: ["ok"]}, config,
+        )
+        assert dict(results) == {1: "answer-1"}
+        assert report.failed == ((0, "timeout"),)
+        assert report.timeouts == 1
+
+    def test_timeout_then_retry_recovers(self, pool):
+        config = ResilienceConfig(
+            probe_timeout_ms=40.0, max_retries=1, backoff_base_ms=0.1,
+        )
+        started = time.monotonic()
+        __, results, report = gather(pool, {0: [0.5, "ok"]}, config)
+        elapsed = time.monotonic() - started
+        assert dict(results) == {0: "answer-0"}
+        assert report.timeouts == 1
+        assert report.retries == 1
+        assert elapsed < 0.45  # recovered without sitting out the sleep
+
+
+class TestHedging:
+    def test_hedge_wins_the_race_against_a_straggler(self, pool):
+        config = ResilienceConfig(hedge_after_ms=25.0)
+        started = time.monotonic()
+        probes, results, report = gather(
+            pool, {0: [0.6, "ok"], 1: ["ok"]}, config,
+        )
+        elapsed = time.monotonic() - started
+        assert dict(results) == {0: "answer-0", 1: "answer-1"}
+        assert report.hedges == 1
+        assert probes.submits[0] == 2
+        assert elapsed < 0.5  # did not wait for the 0.6 s straggler
+
+    def test_hedged_shard_still_resolves_exactly_once(self, pool):
+        config = ResilienceConfig(hedge_after_ms=10.0)
+        __, results, __ = gather(
+            pool, {0: [0.2, 0.05], 1: ["ok"]}, config,
+        )
+        assert [s for s, __ in results] == [0, 1]
+
+    def test_hedge_survives_one_twin_failing(self, pool):
+        # First attempt raises *after* the hedge launches; the hedge's
+        # answer must still resolve the shard (no premature failure).
+        config = ResilienceConfig(hedge_after_ms=10.0, max_retries=0)
+        __, results, report = gather(
+            pool, {0: [0.3, 0.05]}, config,
+        )
+        assert dict(results) == {0: "answer-0"}
+        assert report.hedges == 1
+
+
+class TestShardedIndexIntegration:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return uniform_points(60, 3, seed=11)
+
+    @pytest.fixture(scope="class")
+    def truth(self, points):
+        return NNCellIndex.build(points)
+
+    @pytest.fixture()
+    def sharded(self, points):
+        index = ShardedNNCellIndex.build(points, ShardConfig(n_shards=4))
+        yield index
+        index.set_chaos(None)
+        index.close()
+
+    def test_set_resilience_rejects_wrong_type(self, sharded):
+        with pytest.raises(TypeError):
+            sharded.set_resilience({"max_retries": 1})
+
+    def test_resilience_off_by_default(self, sharded):
+        assert sharded.resilience is None
+
+    def test_clean_resilient_gather_is_bit_identical(self, sharded, truth):
+        sharded.set_resilience(ResilienceConfig(probe_timeout_ms=5000.0))
+        queries = uniform_points(10, 3, seed=12)
+        for q in queries:
+            pid, dist, info = sharded.nearest(q)
+            tid, tdist, __ = truth.nearest(q)
+            assert (pid, dist) == (tid, tdist)
+            assert not info.degraded
+            assert info.shards_answered == 4
+
+    def test_transient_faults_cost_latency_never_correctness(
+        self, sharded, truth
+    ):
+        sharded.set_resilience(
+            ResilienceConfig(max_retries=2, backoff_base_ms=0.1)
+        )
+        plan = FaultPlan(shards={
+            s: ShardFaults(fail_first=2) for s in range(4)
+        })
+        sharded.set_chaos(ChaosInjector(plan))
+        pid, dist, info = sharded.nearest([0.4, 0.6, 0.5])
+        tid, tdist, __ = truth.nearest([0.4, 0.6, 0.5])
+        assert (pid, dist) == (tid, tdist)
+        assert not info.degraded
+
+    def test_dead_shard_with_allow_partial_degrades_explicitly(
+        self, sharded
+    ):
+        sharded.set_resilience(ResilienceConfig(
+            max_retries=1, backoff_base_ms=0.1, allow_partial=True,
+        ))
+        sharded.set_chaos(ChaosInjector(
+            FaultPlan(shards={2: ShardFaults(fail_p=1.0)})
+        ))
+        with metrics.collecting(fresh=True) as registry:
+            __, __, info = sharded.nearest([0.5, 0.5, 0.5])
+            ids, dists, kinfo = sharded.k_nearest([0.5, 0.5, 0.5], 3)
+            explain = sharded.explain([0.5, 0.5, 0.5])
+        snapshot = registry.snapshot()
+        for view in (info, kinfo):
+            assert view.degraded
+            assert view.failed_shards == (2,)
+            assert view.shards_answered == 3
+        assert explain.degraded
+        assert explain.failed_shards == (2,)
+        assert explain.as_dict()["failed_shards"] == [2]
+        assert snapshot.get("shard.degraded", 0) >= 3
+        assert snapshot.get("shard.retry", 0) >= 3
+
+    def test_dead_shard_without_allow_partial_raises_typed(self, sharded):
+        sharded.set_resilience(ResilienceConfig(
+            max_retries=0, backoff_base_ms=0.1,
+        ))
+        sharded.set_chaos(ChaosInjector(
+            FaultPlan(shards={1: ShardFaults(fail_p=1.0)})
+        ))
+        with pytest.raises(ShardProbeError) as excinfo:
+            sharded.nearest([0.5, 0.5, 0.5])
+        assert excinfo.value.failed_shards == (1,)
+
+    def test_stuck_probe_timeout_retry_recovers_exactly(
+        self, sharded, truth
+    ):
+        sharded.set_resilience(ResilienceConfig(
+            probe_timeout_ms=50.0, max_retries=1, backoff_base_ms=0.1,
+        ))
+        injector = ChaosInjector(FaultPlan(
+            shards={0: ShardFaults(stuck_first=1, stuck_ms=None)}
+        ))
+        sharded.set_chaos(injector)
+        try:
+            with metrics.collecting(fresh=True) as registry:
+                pid, dist, info = sharded.nearest([0.3, 0.3, 0.3])
+            tid, tdist, __ = truth.nearest([0.3, 0.3, 0.3])
+            assert (pid, dist) == (tid, tdist)
+            assert not info.degraded
+            assert registry.snapshot().get("shard.timeout", 0) >= 1
+        finally:
+            injector.release()
+
+    def test_query_batch_carries_degradation(self, sharded, truth):
+        sharded.set_resilience(ResilienceConfig(
+            max_retries=0, backoff_base_ms=0.1, allow_partial=True,
+        ))
+        sharded.set_chaos(ChaosInjector(
+            FaultPlan(shards={3: ShardFaults(fail_p=1.0)})
+        ))
+        queries = uniform_points(6, 3, seed=13)
+        ids, dists, info = sharded.query_batch(queries)
+        assert info.degraded
+        assert info.failed_shards == (3,)
+        assert info.shards_answered == 3
+
+    def test_removing_chaos_and_resilience_restores_exactness(
+        self, sharded, truth
+    ):
+        sharded.set_resilience(ResilienceConfig(allow_partial=True))
+        sharded.set_chaos(ChaosInjector(
+            FaultPlan(shards={0: ShardFaults(fail_p=1.0)})
+        ))
+        sharded.set_chaos(None)
+        sharded.set_resilience(None)
+        assert sharded.resilience is None
+        q = [0.7, 0.2, 0.9]
+        pid, dist, info = sharded.nearest(q)
+        tid, tdist, __ = truth.nearest(q)
+        assert (pid, dist) == (tid, tdist)
+        assert not info.degraded

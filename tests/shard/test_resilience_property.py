@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for the resilience contract.
+
+Two levels:
+
+* the gather loop itself, against scripted probe outcomes — answered
+  and failed partition the shard set, delivery is exactly-once, and
+  shards whose transient failures fit the retry budget always answer;
+* the sharded index under arbitrary deterministic fault schedules —
+  every answer is bit-identical to the unsharded truth index OR
+  explicitly degraded naming the dead shards; a raised error is always
+  typed.  **Never silently wrong** is the invariant all of resilience
+  hangs on.
+"""
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosInjector, FaultPlan, ShardFaults
+from repro.core.nncell_index import NNCellIndex
+from repro.data import uniform_points
+from repro.shard import (
+    AllShardsFailed,
+    ResilienceConfig,
+    ShardConfig,
+    ShardedNNCellIndex,
+    ShardError,
+    ShardProbeError,
+)
+from repro.shard.resilience import resilient_gather
+
+N_SHARDS = 4
+
+
+# ----------------------------------------------------------------------
+# Level 1: the gather loop against scripted outcomes.
+# ----------------------------------------------------------------------
+class ScriptedProbes:
+    """Per-shard scripts of "fail"/"ok"; exhausted scripts answer ok."""
+
+    def __init__(self, pool, scripts):
+        self.pool = pool
+        self.scripts = {s: list(seq) for s, seq in scripts.items()}
+        self.deliveries = Counter()
+        self._lock = threading.Lock()
+
+    def submit(self, shard):
+        with self._lock:
+            script = self.scripts.get(shard)
+            action = script.pop(0) if script else "ok"
+        return self.pool.submit(self._attempt, shard, action)
+
+    def _attempt(self, shard, action):
+        if action == "fail":
+            raise RuntimeError(f"scripted failure on shard {shard}")
+        with self._lock:
+            self.deliveries[shard] += 1
+        return f"answer-{shard}"
+
+
+@st.composite
+def gather_cases(draw):
+    n_shards = draw(st.integers(1, 4))
+    fails = {
+        s: draw(st.integers(0, 4), label=f"fails[{s}]")
+        for s in range(n_shards)
+    }
+    config = ResilienceConfig(
+        max_retries=draw(st.integers(0, 3)),
+        backoff_base_ms=0.0,
+        allow_partial=True,
+    )
+    return n_shards, fails, config
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=gather_cases())
+def test_gather_partitions_shards_and_delivers_once(case):
+    n_shards, fails, config = case
+    scripts = {s: ["fail"] * n for s, n in fails.items()}
+    guaranteed = {s for s, n in fails.items() if n <= config.max_retries}
+    with ThreadPoolExecutor(max_workers=2 * n_shards) as pool:
+        probes = ScriptedProbes(pool, scripts)
+        try:
+            results, report = resilient_gather(
+                range(n_shards), probes.submit, config
+            )
+        except AllShardsFailed:
+            # Legal only when no shard could possibly answer.
+            assert not guaranteed
+            return
+    answered = {s for s, __ in results}
+    failed = set(report.failed_shards)
+    # Answered and failed partition the probed shards exactly.
+    assert answered | failed == set(range(n_shards))
+    assert answered & failed == set()
+    assert answered == set(report.answered)
+    # A budgeted transient failure is never a permanent casualty.
+    assert guaranteed <= answered
+    assert failed <= {
+        s for s, n in fails.items() if n > config.max_retries
+    }
+    # Exactly-once delivery into the merge.
+    shards_in_results = [s for s, __ in results]
+    assert len(shards_in_results) == len(set(shards_in_results))
+    assert report.degraded == bool(failed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    hedge_after_ms=st.sampled_from([5.0, 20.0]),
+    straggler_s=st.sampled_from([0.05, 0.15]),
+)
+def test_hedged_straggler_never_double_delivers(
+    hedge_after_ms, straggler_s
+):
+    """Both hedge twins may finish; the merge sees the shard once."""
+    config = ResilienceConfig(hedge_after_ms=hedge_after_ms)
+
+    class SleepyProbes(ScriptedProbes):
+        def _attempt(self, shard, action):
+            if shard == 0:
+                time.sleep(straggler_s)
+            return super()._attempt(shard, action)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        probes = SleepyProbes(pool, {})
+        results, report = resilient_gather(
+            range(3), probes.submit, config
+        )
+        # Let any losing twin finish delivering before we count.
+        time.sleep(straggler_s + 0.05)
+    shards = [s for s, __ in results]
+    assert shards == [0, 1, 2]
+    assert len(set(shards)) == 3
+
+
+# ----------------------------------------------------------------------
+# Level 2: the sharded index under arbitrary fault schedules.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(60, 3, seed=23)
+
+
+@pytest.fixture(scope="module")
+def truth(points):
+    return NNCellIndex.build(points)
+
+
+@pytest.fixture(scope="module")
+def sharded(points):
+    index = ShardedNNCellIndex.build(
+        points, ShardConfig(n_shards=N_SHARDS)
+    )
+    yield index
+    index.close()
+
+
+@st.composite
+def fault_schedules(draw):
+    """A deterministic per-shard fault schedule plus a policy.
+
+    ``fail_first`` counters are scheduling-independent, so the outcome
+    of every schedule is exactly predictable: a shard dies iff its
+    budgeted attempts (1 + max_retries) all fall inside its counter.
+    """
+    max_retries = draw(st.integers(0, 2))
+    fails = {
+        s: draw(st.integers(0, 4), label=f"fail_first[{s}]")
+        for s in range(N_SHARDS)
+    }
+    allow_partial = draw(st.booleans())
+    query_seed = draw(st.integers(0, 2 ** 16))
+    return max_retries, fails, allow_partial, query_seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(schedule=fault_schedules())
+def test_never_silently_wrong(sharded, truth, schedule):
+    max_retries, fails, allow_partial, query_seed = schedule
+    expected_dead = {s for s, n in fails.items() if n > max_retries}
+    query = uniform_points(1, 3, seed=query_seed)[0]
+    tid, tdist, __ = truth.nearest(query)
+
+    sharded.set_resilience(ResilienceConfig(
+        max_retries=max_retries,
+        backoff_base_ms=0.0,
+        allow_partial=allow_partial,
+    ))
+    sharded.set_chaos(ChaosInjector(FaultPlan(shards={
+        s: ShardFaults(fail_first=n) for s, n in fails.items() if n
+    })))
+    try:
+        pid, dist, info = sharded.nearest(query)
+    except ShardError as err:
+        # A refusal must be typed and must name real casualties.
+        if isinstance(err, AllShardsFailed):
+            assert expected_dead == set(range(N_SHARDS))
+        else:
+            assert isinstance(err, ShardProbeError)
+            assert not allow_partial
+            assert err.failed_shards
+            assert set(err.failed_shards) <= expected_dead
+        return
+    finally:
+        sharded.set_chaos(None)
+        sharded.set_resilience(None)
+
+    if info.degraded:
+        # Degraded answers say so and name exactly the dead shards.
+        assert allow_partial
+        assert set(info.failed_shards) == expected_dead
+        assert info.shards_answered == N_SHARDS - len(expected_dead)
+        # The degraded answer is still the exact nearest neighbor of
+        # the surviving shards' points — never a fabricated result.
+        assert dist >= tdist - 1e-12
+    else:
+        # Complete answers are bit-identical to the unsharded truth.
+        assert expected_dead == set()
+        assert (pid, dist) == (tid, tdist)
+        assert info.shards_answered == N_SHARDS

@@ -795,3 +795,84 @@ class TestServeTracingProtocol:
         assert code == 0
         assert responses[0]["ok"]
         assert responses[0]["trace_id"]
+
+
+class TestChaosAndResilience:
+    @pytest.fixture()
+    def index_path(self, tmp_path, capsys):
+        out = tmp_path / "idx.npz"
+        run(capsys, "build", "--dataset", "uniform", "--n", "40",
+            "--dim", "3", "--out", str(out))
+        return out
+
+    def serve(self, monkeypatch, capsys, index_path, stdin_text, *flags):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code, stdout, stderr = run(capsys, "serve", str(index_path), *flags)
+        responses = [json.loads(line) for line in stdout.splitlines()]
+        return code, responses, stderr
+
+    def test_chaos_drill_passes_and_reports(self, index_path, capsys):
+        code, stdout, __ = run(
+            capsys, "chaos", str(index_path), "--shards", "4",
+            "--queries", "30", "--threads", "2",
+            "--fail-shard", "2", "--fail-p", "1.0",
+            "--shard-retries", "1", "--allow-partial",
+        )
+        assert code == 0
+        assert "chaos drill: PASSED" in stdout
+        assert "degraded" in stdout
+
+    def test_chaos_drill_json_report(self, index_path, capsys):
+        import json
+
+        code, stdout, __ = run(
+            capsys, "chaos", str(index_path), "--shards", "4",
+            "--queries", "20", "--threads", "2",
+            "--fail-shard", "1", "--fail-p", "1.0",
+            "--shard-retries", "0", "--allow-partial", "--json",
+        )
+        assert code == 0
+        report = json.loads(stdout)
+        assert report["passed"] is True
+        assert report["untyped_errors"] == 0
+        assert report["faulted_shards"] == [1]
+        assert report["outcomes"].get("degraded", 0) > 0
+
+    def test_chaos_drill_healthy_fleet(self, index_path, capsys):
+        import json
+
+        code, stdout, __ = run(
+            capsys, "chaos", str(index_path), "--shards", "2",
+            "--queries", "10", "--threads", "1", "--json",
+        )
+        assert code == 0
+        report = json.loads(stdout)
+        assert report["passed"] is True
+        assert report["outcomes"] == {"ok": 10}
+
+    def test_serve_resilience_flags_on_sharded_index(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, responses, __ = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.5, 0.5, 0.5]\n[0.2, 0.8, 0.4]\n",
+            "--shards", "3", "--shard-timeout-ms", "500",
+            "--hedge-after-ms", "100", "--allow-partial",
+        )
+        assert code == 0
+        assert all(r["ok"] for r in responses)
+        # Healthy fleet: nothing degraded, so no degraded fields.
+        assert all("degraded" not in r for r in responses)
+
+    def test_serve_resilience_flags_need_sharded_index(
+        self, monkeypatch, capsys, index_path
+    ):
+        code, __, stderr = self.serve(
+            monkeypatch, capsys, index_path,
+            "[0.5, 0.5, 0.5]\n", "--allow-partial",
+        )
+        assert code != 0
+        assert "sharded" in stderr

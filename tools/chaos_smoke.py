@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Chaos smoke test, run by CI's ``chaos-smoke`` job.
+
+End-to-end proof that scatter-gather serving survives injected faults:
+
+1. build a 4-shard index (plus an unsharded truth twin) and arm the
+   mitigation policy — per-probe timeouts, retries, hedging,
+   ``allow_partial``;
+2. inject one *slow* shard (latency spikes above the hedge threshold)
+   and one *failing* shard (raises more often than the retry budget
+   can always absorb), then drive 200 queries from 4 concurrent client
+   threads through a real :class:`QueryService`;
+3. assert **zero non-typed errors**, **bit-parity** of every
+   non-degraded answer with the truth index, and **correct degraded
+   accounting** — every degraded answer names its missing shards and
+   the ``serve.degraded_answers`` counter matches the outcome tally;
+4. assert the mitigation engaged (retries and hedges observed) and
+   that the counters are scrapeable: a live ``/metrics`` scrape must
+   round-trip through the strict exposition parser with the same
+   values the drill observed.
+
+Exits non-zero with a message on any violation.  Also runnable
+locally::
+
+    PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.chaos import FaultPlan, ShardFaults, run_drill  # noqa: E402
+from repro.core.nncell_index import NNCellIndex  # noqa: E402
+from repro.data import uniform_points  # noqa: E402
+from repro.obs.promexport import MetricsServer, parse_exposition  # noqa: E402
+from repro.shard import (  # noqa: E402
+    ResilienceConfig,
+    ShardConfig,
+    ShardedNNCellIndex,
+)
+
+N_QUERIES = 200
+N_THREADS = 4
+N_SHARDS = 4
+SLOW_SHARD = 0
+FAILING_SHARD = 2
+
+#: Slow shard: half its probes spike to 40 ms — well past the hedge
+#: threshold, well inside the probe timeout (hedges race, never abandon).
+SLOW = ShardFaults(slow_p=0.5, slow_ms=40.0)
+#: Failing shard: raises on 85% of attempts; with 2 retries a query
+#: loses it with probability 0.85^3 ~ 0.61, so the drill sees *both*
+#: fully-answered (bit-parity checked) and degraded answers.
+FAILING = ShardFaults(fail_p=0.85)
+
+POLICY = ResilienceConfig(
+    probe_timeout_ms=250.0,
+    max_retries=2,
+    backoff_base_ms=1.0,
+    hedge_after_ms=20.0,
+    allow_partial=True,
+)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"chaos smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def scrape_metrics() -> "dict":
+    """Live /metrics scrape of the drill registry, strictly parsed."""
+    with MetricsServer() as server:
+        url = f"http://127.0.0.1:{server.port}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            check(response.status == 200, f"/metrics returned {response.status}")
+            text = response.read().decode()
+    try:
+        return parse_exposition(text)
+    except ValueError as err:
+        check(False, f"exposition did not parse strictly: {err}")
+
+
+def main() -> int:
+    points = uniform_points(300, 4, seed=97)
+    truth = NNCellIndex.build(points)
+    index = ShardedNNCellIndex.build(points, ShardConfig(n_shards=N_SHARDS))
+    index.set_resilience(POLICY)
+
+    plan = FaultPlan(
+        shards={SLOW_SHARD: SLOW, FAILING_SHARD: FAILING}, seed=41
+    )
+    try:
+        report = run_drill(
+            index, plan, n_queries=N_QUERIES, n_threads=N_THREADS,
+            truth=truth,
+        )
+    finally:
+        index.close()
+
+    # ------------------------------------------------------------------
+    # 3. The resilience contract, response by response.
+    # ------------------------------------------------------------------
+    check(
+        report.untyped_errors == 0,
+        f"{report.untyped_errors} raw exceptions reached clients: "
+        f"{report.outcomes}",
+    )
+    check(report.errors == 0, f"typed errors leaked: {report.outcomes}")
+    check(
+        report.mismatches == 0,
+        f"{report.mismatches} non-degraded answers differed from truth",
+    )
+    check(
+        report.unaccounted_degraded == 0,
+        f"{report.unaccounted_degraded} degraded answers named no shards",
+    )
+    ok, degraded = report.outcomes.get("ok", 0), report.degraded
+    check(ok + degraded == N_QUERIES, f"lost answers: {report.outcomes}")
+    check(degraded > 0, "failing shard never degraded an answer")
+    check(ok > 0, "no fully-answered queries to parity-check")
+    check(
+        report.faulted_shards == [FAILING_SHARD],
+        f"degraded answers blamed {report.faulted_shards}, "
+        f"expected [{FAILING_SHARD}]",
+    )
+    check(
+        report.counters.get("serve.degraded_answers", 0) == degraded,
+        f"serve.degraded_answers={report.counters.get('serve.degraded_answers')} "
+        f"!= {degraded} degraded outcomes",
+    )
+
+    # ------------------------------------------------------------------
+    # 4. The mitigation engaged, and its counters scrape strictly.
+    # ------------------------------------------------------------------
+    retries = report.counters.get("shard.retry", 0)
+    hedges = report.counters.get("shard.hedge", 0)
+    check(retries > 0, "failing shard produced no retries")
+    check(hedges > 0, "slow shard produced no hedges")
+    check(
+        report.injected.get(f"shard{SLOW_SHARD}.slow", 0) > 0
+        and report.injected.get(f"shard{FAILING_SHARD}.fail", 0) > 0,
+        f"fault plan never fired: {report.injected}",
+    )
+
+    samples = scrape_metrics()
+    for counter, sample in (
+        ("shard.retry", "shard_retry_total"),
+        ("shard.hedge", "shard_hedge_total"),
+        ("serve.degraded_answers", "serve_degraded_answers_total"),
+    ):
+        check(
+            samples.get(sample) == report.counters.get(counter),
+            f"{sample}={samples.get(sample)} on /metrics, drill observed "
+            f"{counter}={report.counters.get(counter)}",
+        )
+
+    print(
+        f"chaos smoke OK: {N_QUERIES} queries x {N_THREADS} threads over "
+        f"{N_SHARDS} shards (shard {SLOW_SHARD} slow, shard "
+        f"{FAILING_SHARD} failing) -> {ok} exact, {degraded} degraded, "
+        f"0 errors; retries={int(retries)} hedges={int(hedges)}; "
+        f"/metrics parsed strictly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
