@@ -7,17 +7,21 @@ measures the trajectory of that contract and publishes it as a
 machine-readable root-level ``BENCH_obs.json``:
 
 * ``disabled_qps`` / ``metrics_qps`` / ``metrics_events_qps`` /
-  ``tracing_qps`` — direct ``nearest`` throughput with telemetry off,
-  with the metrics registry (plus time-series sink) on, with the
-  structured event log on too, and with span tracing recording into a
-  tail-sampling :class:`~repro.obs.tracestore.TraceStore` (the
-  ``serve --tracing`` configuration);
+  ``analytics_qps`` / ``tracing_qps`` — direct ``nearest`` throughput
+  with telemetry off, with the metrics registry (plus time-series sink)
+  on, with the structured event log on too, with the workload-analytics
+  access recorder on top of metrics (the ``serve --analytics``
+  configuration), and with span tracing recording into a tail-sampling
+  :class:`~repro.obs.tracestore.TraceStore` (``serve --tracing``);
 * ``overhead_metrics_pct`` / ``overhead_events_pct`` /
   ``overhead_tracing_pct`` — the same as relative slowdowns against
-  ``disabled_qps``.  The tracing share is the one *hard-gated* number:
-  ``run_bench`` raises when it exceeds
-  ``TRACING_OVERHEAD_BUDGET_PCT`` (25%), so both the CI bench leg and
-  a local regeneration fail loudly.  The others are context;
+  ``disabled_qps``, plus ``overhead_analytics_pct`` measured against
+  ``metrics_qps`` (the analytics recorder rides on an already-metered
+  process).  Two numbers are *hard-gated*: ``run_bench`` raises when
+  tracing overhead exceeds ``TRACING_OVERHEAD_BUDGET_PCT`` (25%) or
+  analytics-over-metrics overhead exceeds
+  ``ANALYTICS_OVERHEAD_BUDGET_PCT`` (10%), so both the CI bench leg
+  and a local regeneration fail loudly.  The others are context;
 * ``serve_wall_qps`` / ``serve_p50_ms`` / ``serve_p99_ms`` — a
   concurrent service run measured through the *new 60s windows*
   (``TimeSeries``), i.e. the numbers the live dashboard would show.
@@ -37,7 +41,7 @@ from pathlib import Path
 from repro.core.nncell_index import NNCellIndex
 from repro.data import query_points, uniform_points
 from repro.eval.loadgen import run_service_load
-from repro.obs import events, metrics, tracestore, tracing
+from repro.obs import analytics, events, metrics, tracestore, tracing
 from repro.obs.timeseries import TimeSeries
 from repro.serve import ServeConfig
 
@@ -62,6 +66,12 @@ REPEATS = 5
 #: two clock reads each); the tracing leg of CI fails when recording
 #: them costs more than this share of direct query throughput.
 TRACING_OVERHEAD_BUDGET_PCT = 25.0
+
+#: Hard ceiling on the analytics-mode slowdown vs metrics-only.  The
+#: access recorder adds one locked dict-plus-sketch update per hook, so
+#: it must stay within a tenth of the already-metered throughput — the
+#: promise ``serve --analytics`` makes to a production fleet.
+ANALYTICS_OVERHEAD_BUDGET_PCT = 10.0
 
 
 def _throughput_qps(index, queries) -> float:
@@ -98,6 +108,18 @@ def _mode_events():
 
 
 @contextmanager
+def _mode_analytics():
+    # The `serve --analytics` configuration: metrics + windows on, and
+    # the access recorder aggregating every cell/page touch.
+    with _mode_metrics():
+        analytics.install()
+        try:
+            yield
+        finally:
+            analytics.uninstall()
+
+
+@contextmanager
 def _mode_tracing():
     # The `serve --tracing` configuration: metrics + windows stay on,
     # and every span records into a tail-sampling store (events off,
@@ -116,6 +138,7 @@ _MODES = (
     ("disabled", _mode_disabled),
     ("metrics", _mode_metrics),
     ("events", _mode_events),
+    ("analytics", _mode_analytics),
     ("tracing", _mode_tracing),
 )
 
@@ -141,13 +164,21 @@ def measure_obs_overhead(index, queries) -> dict:
             return 0.0
         return 100.0 * (1.0 - qps / disabled_qps)
 
+    metrics_qps = best["metrics"]
+    analytics_over_metrics = (
+        100.0 * (1.0 - best["analytics"] / metrics_qps)
+        if metrics_qps > 0.0
+        else 0.0
+    )
     return {
         "disabled_qps": disabled_qps,
-        "metrics_qps": best["metrics"],
+        "metrics_qps": metrics_qps,
         "metrics_events_qps": best["events"],
+        "analytics_qps": best["analytics"],
         "tracing_qps": best["tracing"],
         "overhead_metrics_pct": overhead_pct(best["metrics"]),
         "overhead_events_pct": overhead_pct(best["events"]),
+        "overhead_analytics_pct": analytics_over_metrics,
         "overhead_tracing_pct": overhead_pct(best["tracing"]),
     }
 
@@ -208,6 +239,15 @@ def run_bench(out_path: Path = BENCH_PATH) -> dict:
             f" (disabled {document['metrics']['disabled_qps']:.0f} qps,"
             f" tracing {document['metrics']['tracing_qps']:.0f} qps)"
         )
+    analytics_overhead = document["metrics"]["overhead_analytics_pct"]
+    if analytics_overhead > ANALYTICS_OVERHEAD_BUDGET_PCT:
+        raise AssertionError(
+            f"analytics overhead {analytics_overhead:.1f}% over"
+            f" metrics-only exceeds the"
+            f" {ANALYTICS_OVERHEAD_BUDGET_PCT:.0f}% budget"
+            f" (metrics {document['metrics']['metrics_qps']:.0f} qps,"
+            f" analytics {document['metrics']['analytics_qps']:.0f} qps)"
+        )
     out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return document
 
@@ -218,7 +258,9 @@ def bench_obs_overhead(benchmark):
     assert m["disabled_qps"] > 0.0
     assert m["metrics_qps"] > 0.0
     assert m["tracing_qps"] > 0.0
+    assert m["analytics_qps"] > 0.0
     assert m["overhead_tracing_pct"] <= TRACING_OVERHEAD_BUDGET_PCT
+    assert m["overhead_analytics_pct"] <= ANALYTICS_OVERHEAD_BUDGET_PCT
     assert m["serve_errors"] == 0.0
     assert m["serve_p99_ms"] >= m["serve_p50_ms"] > 0.0
     print(f"\n(bench document written to {BENCH_PATH})")

@@ -39,16 +39,17 @@ from .faults import ChaosInjector, FaultPlan
 
 __all__ = ["DrillReport", "install_page_chaos", "run_drill"]
 
-#: Counters the report extracts from the drill-scoped registry.
+#: Counters the report extracts from the drill-scoped registry.  The
+#: ``shard.*`` resilience counters and ``serve.fallback`` are dimensional
+#: (``shard=`` / ``stage=`` labels); the report aggregates every label
+#: set back under the base name via :func:`repro.obs.metrics.sum_labeled`.
 _DRILL_COUNTERS = (
     "shard.retry",
     "shard.hedge",
     "shard.timeout",
     "shard.degraded",
     "serve.degraded_answers",
-    "serve.fallback.batch",
-    "serve.fallback.serial",
-    "serve.fallback.scan",
+    "serve.fallback",
     "storage.flaky_reads",
 )
 
@@ -207,11 +208,20 @@ def run_drill(
             _tally(report.outcomes, f"error:{type(err).__name__}")
 
     report.injected = injector.counts()
-    report.counters = {
-        name: snapshot.get(name, 0.0)
-        for name in _DRILL_COUNTERS
-        if snapshot.get(name)
-    }
+    # One aggregate entry per base name, plus each labeled child under
+    # its canonical key (`serve.fallback{stage="scan"}`) so the report
+    # says which rung / which shard, not just how often.
+    counters: "Dict[str, float]" = {}
+    for name in _DRILL_COUNTERS:
+        total = metrics.sum_labeled(snapshot, name)
+        if not total:
+            continue
+        counters[name] = total
+        prefix = name + "{"
+        for key, value in sorted(snapshot.items()):
+            if key.startswith(prefix) and value:
+                counters[key] = value
+    report.counters = counters
     report.faulted_shards = sorted(faulted)
     return report
 

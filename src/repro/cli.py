@@ -17,6 +17,12 @@ Wraps the library's main workflows for shell use:
 * ``stats``  — same statistics, plus ``--live`` metrics from a sample
   query workload run with instrumentation enabled, or ``--watch`` for a
   continuously refreshing windowed telemetry table;
+* ``analyze`` — drive a captured workload (from ``serve --capture``)
+  through an index with access accounting on and print the hotspot
+  report: per-shard work shares, hot cells/pages, cache-hit ratio and
+  a partitioner-balance verdict (exit 2 on skew; docs/analytics.md);
+* ``replay`` — re-execute a captured workload and verify every answer
+  is bit-identical to the capture (exit 1 on any mismatch);
 * ``experiment`` — run one of the paper's figure experiments and print
   (optionally save) its table.
 
@@ -42,6 +48,8 @@ Examples::
     python -m repro info idx.npz
     python -m repro stats idx.npz --live
     python -m repro stats idx.npz --watch --duration 10
+    python -m repro analyze fleet --workload capture.jsonl --json
+    python -m repro replay fleet --workload capture.jsonl --mode batch
     python -m repro build --dataset uniform --n 200 --dim 4 \
         --out idx.npz --profile build_profile.json
     python -m repro experiment figure4 --param dims=2,4 --param n_points=50
@@ -73,9 +81,12 @@ from .data.registry import dataset_names, make_dataset
 from .data.synthetic import query_points
 from .eval import experiments as experiments_module
 from .eval.loadgen import run_service_load
+from .eval.replay import replay as run_replay
 from .eval.reporting import ResultTable
+from .obs import analytics as obs_analytics
 from .obs import export as obs_export
 from .obs import metrics as obs_metrics
+from .obs import workload as obs_workload
 from .obs import timeseries as obs_timeseries
 from .obs import tracectx as obs_tracectx
 from .obs import tracestore as obs_tracestore
@@ -254,7 +265,67 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-degrade", action="store_true",
                        help="let a paging SLO shed the micro-batching"
                             " delay (QueryService degraded mode)")
+    serve.add_argument("--analytics", action="store_true",
+                       help="record cell/page access heatmaps and"
+                            " per-shard load shares; the skew report is"
+                            " served at GET /analytics (docs/analytics.md)")
+    serve.add_argument("--capture", type=Path, default=None, metavar="PATH",
+                       help="append served queries and their answers to a"
+                            " replayable workload log (JSONL;"
+                            " see 'repro replay')")
+    serve.add_argument("--capture-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="workload capture sampling rate in (0, 1]"
+                            " (with --capture)")
     serve.set_defaults(handler=_cmd_serve)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="drive a captured workload through an index with access"
+             " accounting on and print the hotspot/skew report"
+             " (per-shard load shares, Gini, hot cells/pages,"
+             " partitioner-balance verdict; docs/analytics.md)",
+    )
+    analyze.add_argument("index", type=Path)
+    analyze.add_argument("--workload", type=Path, required=True,
+                         metavar="PATH",
+                         help="captured workload (JSONL or NPZ; from"
+                              " 'serve --capture' or save_workload_npz)")
+    analyze.add_argument("--shards", type=int, default=0,
+                         help="re-shard an unsharded archive across N"
+                              " shards before analyzing")
+    analyze.add_argument("--mode", choices=["serial", "batch"],
+                         default="serial",
+                         help="how to re-execute the workload")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="hot cells/pages listed in the report")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the raw analytics report document")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a captured workload against an index and verify"
+             " bit parity of every answer (A/B re-sharding, rebuilds,"
+             " cache sizing; docs/analytics.md)",
+    )
+    replay.add_argument("index", type=Path)
+    replay.add_argument("--workload", type=Path, required=True,
+                        metavar="PATH",
+                        help="captured workload (JSONL or NPZ)")
+    replay.add_argument("--shards", type=int, default=0,
+                        help="re-shard an unsharded archive across N"
+                             " shards before replaying")
+    replay.add_argument("--mode", choices=["serial", "batch"],
+                        default="serial",
+                        help="one query at a time, or batched walks")
+    replay.add_argument("--batch-size", type=int, default=None,
+                        metavar="N",
+                        help="bound on queries per batched walk"
+                             " (--mode batch)")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the replay report as JSON")
+    replay.set_defaults(handler=_cmd_replay)
 
     chaos = sub.add_parser(
         "chaos",
@@ -658,11 +729,18 @@ def _serve_telemetry(args: argparse.Namespace) -> "TelemetrySession | None":
         tracing=args.tracing,
         slo=args.slo or args.slo_degrade,
         slo_degrade=args.slo_degrade,
+        analytics=args.analytics,
+        capture_path=(
+            str(args.capture) if args.capture is not None else None
+        ),
+        capture_sample=args.capture_sample,
     )
     if not config.active:
         return None
     if args.events is not None:
         _require_parent_dir(args.events, "events")
+    if args.capture is not None:
+        _require_parent_dir(args.capture, "capture")
     session = TelemetrySession(config)
     if session.port is not None:
         print(
@@ -903,6 +981,112 @@ def _parse_point(text: str, dim: int) -> np.ndarray:
 
 #: explain prints every rectangle/candidate up to this many, then elides.
 _EXPLAIN_PRINT_LIMIT = 10
+
+
+def _maybe_reshard(index, n_shards: int):
+    """Honour a ``--shards N`` request against a loaded archive."""
+    if not n_shards:
+        return index
+    if isinstance(index, ShardedNNCellIndex):
+        if index.n_shards != n_shards:
+            raise ValueError(
+                f"archive is sharded {index.n_shards} ways; --shards"
+                f" {n_shards} conflicts (omit --shards to keep the"
+                " built shard count)"
+            )
+        return index
+    return ShardedNNCellIndex.from_index(
+        index, ShardConfig(n_shards=n_shards)
+    )
+
+
+def _print_analytics_report(report: dict, top: int) -> None:
+    """Human rendering of an :meth:`AccessRecorder.report` document."""
+    shards = report.get("shards", {})
+    if shards:
+        print(f"shard load ({report['total_probes']} probes,"
+              f" gini={report['gini']:.3f}):")
+        for shard in sorted(shards, key=int):
+            row = shards[shard]
+            bar = "#" * int(round(40 * row["load_share"]))
+            ratio = row["cache_hit_ratio"]
+            hit = "n/a" if ratio is None else f"{ratio:.1%}"
+            print(
+                f"  shard {shard:>3}: {row['load_share']:6.1%}"
+                f"  pages={row['pages']:<6d}"
+                f" cache_hit={hit}  {bar}"
+            )
+    verdict = report["verdict"]
+    if verdict["balanced"]:
+        print("verdict: balanced — no shard exceeds its fair share")
+    else:
+        hot = ", ".join(str(s) for s in verdict["hot_shards"])
+        print(f"verdict: SKEWED — hot shard(s): {hot}")
+    print(f"  {verdict['advice']}")
+    for kind in ("hot_cells", "hot_pages"):
+        sketch = report[kind]
+        rows = sketch["top"][:top]
+        if not rows:
+            continue
+        label = kind.replace("_", " ")
+        print(f"{label} (decayed counts; tracking"
+              f" {sketch['tracked']}/{sketch['capacity']} keys):")
+        for row in rows:
+            print(f"  {label[4:-1]} {row['key']:>8}: {row['count']:.0f}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """``analyze``: re-run a captured workload with access accounting on.
+
+    Exit status 0 when the partitioner verdict is *balanced*, 2 when the
+    report names hot shards — scriptable skew detection.
+    """
+    captured = obs_workload.load_workload(args.workload)
+    index = _maybe_reshard(load_any_index(args.index), args.shards)
+    with obs_analytics.recording() as recorder:
+        run_replay(index, captured, mode=args.mode)
+        report = recorder.report(top_k=args.top)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"analyzed {len(captured)} captured queries"
+            f" against {args.index}"
+        )
+        _print_analytics_report(report, args.top)
+    return 0 if report["verdict"]["balanced"] else 2
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """``replay``: bit-parity verdict of a capture vs. an index.
+
+    Exit status 0 iff every replayed answer matched the capture.
+    """
+    captured = obs_workload.load_workload(args.workload)
+    index = _maybe_reshard(load_any_index(args.index), args.shards)
+    report = run_replay(
+        index, captured, mode=args.mode, batch_size=args.batch_size
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.bit_identical else 1
+    print(
+        f"replayed {report.n_queries} queries ({report.mode}) in"
+        f" {report.wall_seconds:.3f}s ({report.throughput_qps():.0f}"
+        f" qps): {report.pages} pages"
+        f" (captured: {report.captured_pages})"
+    )
+    if report.bit_identical:
+        print("parity: bit-identical — every id and distance matched")
+        return 0
+    print(f"parity: {len(report.mismatches)} MISMATCHES")
+    for mismatch in report.mismatches[:10]:
+        print(
+            f"  query {mismatch.index}: expected"
+            f" ({mismatch.expected_id}, {mismatch.expected_distance!r})"
+            f" got ({mismatch.got_id}, {mismatch.got_distance!r})"
+        )
+    return 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:

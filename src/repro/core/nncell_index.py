@@ -39,7 +39,7 @@ from ..index.bulk import bulk_load
 from ..index.nnsearch import hs_k_nearest, rkv_nearest
 from ..index.rstar import RStarTree
 from ..index.xtree import XTree
-from ..obs import events, metrics
+from ..obs import analytics, events, metrics, workload
 from ..obs.tracing import span
 from ..storage.page import DEFAULT_PAGE_SIZE
 from .approximation import approximate_cell
@@ -427,7 +427,12 @@ class NNCellIndex:
         if q.shape != (self.dim,):
             raise ValueError(f"query must be a {self.dim}-vector")
         if not events.enabled():
-            return self._nearest_impl(q)
+            point_id, distance, info = self._nearest_impl(q)
+            workload.record_query(
+                q, point_id, distance, info.pages,
+                source="fallback" if info.fallback else "cell",
+            )
+            return point_id, distance, info
         start = time.perf_counter()
         point_id, distance, info = self._nearest_impl(q)
         events.emit(
@@ -439,6 +444,10 @@ class NNCellIndex:
             retried_atol=info.retried_atol,
             fallback_reason=fallback_reason(info),
             duration_ms=1e3 * (time.perf_counter() - start),
+        )
+        workload.record_query(
+            q, point_id, distance, info.pages,
+            source="fallback" if info.fallback else "cell",
         )
         return point_id, distance, info
 
@@ -476,6 +485,7 @@ class NNCellIndex:
                 info.n_candidates = int(candidate_ids.size)
                 info.distance_computations = int(candidate_ids.size)
                 scan.set("candidates", info.n_candidates)
+            analytics.record_cells(candidate_ids)
             metrics.inc("query.count")
             metrics.observe("query.candidates", info.n_candidates)
             metrics.observe("query.pages", info.pages)
@@ -548,6 +558,7 @@ class NNCellIndex:
                 info.n_candidates = int(candidates.size)
                 info.distance_computations += int(candidates.size)
                 scan.set("candidates", info.n_candidates)
+            analytics.record_cells(candidates)
             order = np.argsort(dist_sq)
             radius = float(np.sqrt(dist_sq[order[k_eff - 1]]))
 

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..index.nnsearch import rkv_nearest
 from ..index.rstar import RStarTree
-from ..obs import events, metrics
+from ..obs import analytics, events, metrics, workload
 from ..obs.tracing import span
 
 __all__ = ["BatchQueryInfo", "batched_point_query", "query_batch"]
@@ -149,6 +149,7 @@ def query_batch(
         root.set("candidates", info.n_candidates)
         root.set("fallbacks", info.fallbacks)
     metrics.observe("query.batch.pages", info.pages)
+    workload.record_batch(qs, ids, dists, info.pages)
     if emit_events:
         events.emit(
             "batch",
@@ -233,6 +234,7 @@ def _walk_chunk(
             info.n_candidates += int(pair_q.size)
             info.distance_computations += int(pair_q.size)
             scan.set("candidates", int(pair_q.size))
+        analytics.record_cells(pair_owner)
         if metrics.enabled():
             counts = np.bincount(pair_q, minlength=k)
             for count in counts[counts > 0]:

@@ -32,12 +32,15 @@ from .loadgen import (
     serving_throughput_table,
 )
 from .metrics import speedup_percent, summarize_series, verify_against_scan
+from .replay import Mismatch, ReplayReport, replay, replay_file
 from .reporting import ResultTable
 
 __all__ = [
     "ComparisonRun",
     "CostModel",
     "LoadReport",
+    "Mismatch",
+    "ReplayReport",
     "QueryMeasurement",
     "ResultTable",
     "Timer",
@@ -55,6 +58,8 @@ __all__ = [
     "measure_scan_queries",
     "measure_tree_queries",
     "nn_sphere_volume_fraction",
+    "replay",
+    "replay_file",
     "run_direct_load",
     "run_service_load",
     "serving_throughput_table",

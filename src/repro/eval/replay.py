@@ -1,0 +1,164 @@
+"""Workload replay: re-execute a captured query stream for A/B parity.
+
+The point of capturing a workload (:mod:`repro.obs.workload`) is to be
+able to ask *"would a different index answer it the same, and at what
+page cost?"* — re-sharding, a new partitioner, a bigger cache, a fresh
+build.  :func:`replay` re-executes every captured query against an
+index and reports:
+
+* **bit parity** — answers are compared with exact equality on ids and
+  float-exact equality on distances (the same contract the shard and
+  batch parity suites enforce; no tolerance, because the repo's merges
+  are deterministic).  Mismatches are listed per query;
+* **cost** — total pages touched by the replay vs. the capture, wall
+  seconds, and QPS, so an A/B between two configurations is one
+  :func:`replay` call each plus a diff of the reports.
+
+``mode="serial"`` answers one query at a time through ``nearest``;
+``mode="batch"`` drives ``query_batch`` (both are bit-identical to each
+other by the engine parity contract, so either is a valid referee).
+Works against any index exposing the ``nearest``/``query_batch``
+surface: :class:`~repro.core.nncell_index.NNCellIndex` and
+:class:`~repro.shard.sharded.ShardedNNCellIndex` both qualify.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..obs.workload import Workload, load_workload
+
+__all__ = [
+    "Mismatch",
+    "ReplayReport",
+    "replay",
+    "replay_file",
+]
+
+_MODES = ("serial", "batch")
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One replayed query whose answer differs from the capture."""
+
+    index: int
+    expected_id: int
+    got_id: int
+    expected_distance: float
+    got_distance: float
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "index": self.index,
+            "expected_id": self.expected_id,
+            "got_id": self.got_id,
+            "expected_distance": self.expected_distance,
+            "got_distance": self.got_distance,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one workload against one index."""
+
+    mode: str
+    n_queries: int = 0
+    #: Queries whose (id, distance) differed from the capture.
+    mismatches: "List[Mismatch]" = field(default_factory=list)
+    #: Pages the replay touched / the capture recorded.
+    pages: int = 0
+    captured_pages: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def bit_identical(self) -> bool:
+        """Every replayed answer matched the capture exactly."""
+        return not self.mismatches
+
+    def throughput_qps(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.n_queries / self.wall_seconds
+
+    def as_dict(self, max_mismatches: int = 20) -> "Dict[str, object]":
+        return {
+            "mode": self.mode,
+            "n_queries": self.n_queries,
+            "bit_identical": self.bit_identical,
+            "n_mismatches": len(self.mismatches),
+            "mismatches": [
+                m.as_dict() for m in self.mismatches[:max_mismatches]
+            ],
+            "pages": self.pages,
+            "captured_pages": self.captured_pages,
+            "wall_seconds": self.wall_seconds,
+            "qps": self.throughput_qps(),
+        }
+
+
+def replay(
+    index,
+    workload: Workload,
+    mode: str = "serial",
+    batch_size: "Optional[int]" = None,
+) -> ReplayReport:
+    """Re-execute ``workload`` against ``index``; parity + cost report.
+
+    Captured answers with ``point_id < 0`` (a query the capturing index
+    could not answer) are replayed but never counted as mismatches on
+    distance — only the id must agree.
+    """
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    report = ReplayReport(mode=mode, n_queries=len(workload))
+    report.captured_pages = int(workload.pages.sum())
+    if not len(workload):
+        return report
+    started = time.perf_counter()
+    if mode == "serial":
+        got_ids = np.empty(len(workload), dtype=np.int64)
+        got_dists = np.empty(len(workload))
+        pages = 0
+        for i in range(len(workload)):
+            point_id, distance, info = index.nearest(workload.queries[i])
+            got_ids[i] = point_id
+            got_dists[i] = distance
+            pages += info.pages
+        report.pages = pages
+    else:
+        got_ids, got_dists, info = index.query_batch(
+            workload.queries, batch_size=batch_size
+        )
+        report.pages = int(info.pages)
+    report.wall_seconds = time.perf_counter() - started
+    for i in range(len(workload)):
+        expected_id = int(workload.point_ids[i])
+        expected_dist = float(workload.distances[i])
+        got_id = int(got_ids[i])
+        got_dist = float(got_dists[i])
+        ids_agree = got_id == expected_id
+        dists_agree = (
+            expected_id < 0  # unanswerable capture: id comparison only
+            or got_dist == expected_dist
+            or (np.isnan(got_dist) and np.isnan(expected_dist))
+        )
+        if not (ids_agree and dists_agree):
+            report.mismatches.append(
+                Mismatch(i, expected_id, got_id, expected_dist, got_dist)
+            )
+    return report
+
+
+def replay_file(
+    index,
+    path,
+    mode: str = "serial",
+    batch_size: "Optional[int]" = None,
+) -> ReplayReport:
+    """:func:`replay` a workload loaded from ``path`` (JSONL or NPZ)."""
+    return replay(index, load_workload(path), mode, batch_size)

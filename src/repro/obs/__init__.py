@@ -17,6 +17,11 @@ Small modules with one job each:
   burn-rate alerting over those windows;
 * :mod:`repro.obs.events` — sampled structured event log, one record
   per query / flush / build-chunk lifecycle, trace-id stamped;
+* :mod:`repro.obs.analytics` — bounded cell/page access heatmaps,
+  per-shard load shares and the workload-skew report (``repro
+  analyze``, ``GET /analytics``);
+* :mod:`repro.obs.workload` — sampled capture of served queries and
+  their answers into a replayable log (``repro replay``);
 * :mod:`repro.obs.promexport` — Prometheus text exposition plus the
   ``--metrics-port`` HTTP scrape endpoint (`/metrics`, `/telemetry`,
   `/trace/<id>`, `/healthz`);
@@ -29,6 +34,7 @@ and SLO burn-rate semantics.
 """
 
 from . import (
+    analytics,
     events,
     export,
     metrics,
@@ -39,6 +45,8 @@ from . import (
     tracestore,
     tracing,
 )
+from . import workload
+from .analytics import AccessRecorder, TopKSketch
 from .events import EventLog
 from .export import (
     ProfileDecodeError,
@@ -76,8 +84,11 @@ from .tracestore import (
     to_chrome_trace,
 )
 from .tracing import Span, TraceCarrier, Tracer, carrier, current_span, span, traced
+from .workload import Workload, WorkloadRecorder, load_workload, save_workload_npz
 
 __all__ = [
+    "analytics",
+    "workload",
     "metrics",
     "tracing",
     "tracectx",
@@ -93,6 +104,12 @@ __all__ = [
     "MetricsRegistry",
     "TimeSeries",
     "EventLog",
+    "AccessRecorder",
+    "TopKSketch",
+    "Workload",
+    "WorkloadRecorder",
+    "load_workload",
+    "save_workload_npz",
     "MetricsServer",
     "ExpositionNameError",
     "validate_metric_name",

@@ -32,10 +32,19 @@ from __future__ import annotations
 
 import math
 import random
+import re
 import threading
 import zlib
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with the sink module
     from .timeseries import TimeSeries
@@ -44,15 +53,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LabelCardinalityError",
+    "MAX_LABEL_SETS",
     "MetricsRegistry",
+    "base_name",
     "enabled",
     "enable",
     "disable",
     "get_registry",
     "inc",
+    "labeled",
+    "parse_labeled",
     "set_gauge",
     "observe",
     "snapshot",
+    "sum_labeled",
     "delta_since",
     "collecting",
     "install_timeseries",
@@ -66,6 +81,162 @@ __all__ = [
 #: sample of *everything* observed, so long-run percentiles do not
 #: freeze on the warm-up distribution.
 HISTOGRAM_SAMPLE_CAP = 65_536
+
+#: Default ceiling on distinct label sets per base metric name.  Labels
+#: are for *bounded* dimensions (shard id, pipeline stage, outcome); an
+#: unbounded dimension (query id, user id) would grow the registry and
+#: the ``/metrics`` payload without limit, so crossing the cap raises
+#: :class:`LabelCardinalityError` instead of silently registering.
+MAX_LABEL_SETS = 64
+
+
+class LabelCardinalityError(RuntimeError):
+    """A metric exceeded the allowed number of distinct label sets."""
+
+    def __init__(self, base: str, cap: int):
+        super().__init__(
+            f"metric {base!r} exceeded the cardinality cap of {cap}"
+            f" distinct label sets; label values must come from a"
+            f" bounded domain"
+        )
+        self.base = base
+        self.cap = cap
+
+
+# ----------------------------------------------------------------------
+# Canonical labeled keys
+# ----------------------------------------------------------------------
+#
+# A labeled metric is stored under one canonical string key:
+# ``base{k="v",...}`` with label names sorted and values escaped the
+# way the Prometheus text format escapes them ("\\", "\"", "\n").  The
+# key keeps the dotted base name as its prefix, so prefix-based sinks
+# (the time-series ring tracks ``serve.``/``query.``/``shard.``) see
+# labeled children without any special casing.
+
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: "List[str]" = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep both characters
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def labeled(name: str, **labels: object) -> str:
+    """The canonical registry key for ``name`` with ``labels`` attached.
+
+    Label names must match ``[a-zA-Z_][a-zA-Z0-9_]*``; values are
+    stringified and escaped.  With no labels the plain name is returned,
+    so call sites can attach labels unconditionally.  Keys for static
+    label sets should be built once at import time — this function is
+    not on the disabled fast path, but it is not free either.
+    """
+    if not labels:
+        return name
+    if "{" in name:
+        raise ValueError(f"base metric name may not contain '{{': {name!r}")
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_NAME.match(key):
+            raise ValueError(f"invalid label name: {key!r}")
+        parts.append(f'{key}="{_escape_label_value(labels[key])}"')
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def base_name(key: str) -> str:
+    """The base metric name of a (possibly labeled) canonical key."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+def sum_labeled(flat: "Dict[str, float]", base: str) -> float:
+    """Sum of ``base`` across all its label sets in a flat mapping.
+
+    Accepts the shapes :meth:`MetricsRegistry.snapshot` and
+    :meth:`MetricsRegistry.delta_since` return: the unlabeled sample
+    plus every ``base{...}`` child contribute.
+    """
+    total = flat.get(base, 0.0)
+    prefix = base + "{"
+    for key, value in flat.items():
+        if key.startswith(prefix):
+            total += value
+    return total
+
+
+def parse_labeled(key: str) -> "Tuple[str, Dict[str, str]]":
+    """Split a canonical key into ``(base, labels)``.
+
+    The inverse of :func:`labeled` — quote- and escape-aware, so label
+    values containing ``,``, ``}``, ``"`` or ``\\n`` round-trip.  Raises
+    ``ValueError`` on a malformed key.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed labeled key: {key!r}")
+    base = key[:brace]
+    body = key[brace + 1 : -1]
+    labels: "Dict[str, str]" = {}
+    i = 0
+    n = len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed label pair in key: {key!r}")
+        label = body[i:eq]
+        if not _LABEL_NAME.match(label):
+            raise ValueError(f"invalid label name {label!r} in {key!r}")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in key: {key!r}")
+        j = eq + 2
+        raw: "List[str]" = []
+        while j < n:
+            ch = body[j]
+            if ch == "\\" and j + 1 < n:
+                raw.append(body[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value in key: {key!r}")
+        labels[label] = _unescape_label_value("".join(raw))
+        j += 1  # closing quote
+        if j < n:
+            if body[j] != ",":
+                raise ValueError(f"malformed label separator in {key!r}")
+            j += 1
+        i = j
+    return base, labels
 
 
 class Counter:
@@ -181,21 +352,27 @@ class MetricsRegistry:
     and live for the registry's lifetime.
     """
 
-    def __init__(self):
+    def __init__(self, max_label_sets: int = MAX_LABEL_SETS):
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
         self._lock = threading.Lock()
         self._counters: "Dict[str, Counter]" = {}
         self._gauges: "Dict[str, Gauge]" = {}
         self._histograms: "Dict[str, Histogram]" = {}
         self._name_validator: "Optional[Callable[[str], None]]" = None
+        self.max_label_sets = int(max_label_sets)
+        #: base name -> canonical labeled keys registered under it.
+        self._label_keys: "Dict[str, set]" = {}
 
     def set_name_validator(
         self, validator: "Optional[Callable[[str], None]]"
     ) -> None:
         """Apply ``validator`` to every *new* metric name at creation.
 
-        The validator raises to reject a name; nothing is registered in
-        that case.  Existing names are re-checked immediately, so
-        installing the exposition-grammar validator
+        The validator sees the *base* name (labels stripped); it raises
+        to reject a name, and nothing is registered in that case.
+        Existing names are re-checked immediately, so installing the
+        exposition-grammar validator
         (:func:`repro.obs.promexport.validate_metric_name`) on a live
         registry surfaces an unscrapeable name at install time rather
         than at scrape time.
@@ -206,8 +383,22 @@ class MetricsRegistry:
                     list(self._counters) + list(self._gauges)
                     + list(self._histograms)
                 ):
-                    validator(name)
+                    validator(base_name(name))
             self._name_validator = validator
+
+    def _admit(self, name: str) -> None:
+        """Gate a *new* canonical key: base-name validation, then the
+        per-base cardinality cap for labeled keys.  Lock held."""
+        base = base_name(name)
+        if self._name_validator is not None:
+            self._name_validator(base)
+        if base != name:  # labeled key
+            parse_labeled(name)  # reject malformed hand-built keys
+            keys = self._label_keys.setdefault(base, set())
+            if name not in keys:
+                if len(keys) >= self.max_label_sets:
+                    raise LabelCardinalityError(base, self.max_label_sets)
+                keys.add(name)
 
     # ------------------------------------------------------------------
     # Metric access (get-or-create)
@@ -216,8 +407,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
-                if self._name_validator is not None:
-                    self._name_validator(name)
+                self._admit(name)
                 metric = self._counters[name] = Counter(name)
             return metric
 
@@ -225,8 +415,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
-                if self._name_validator is not None:
-                    self._name_validator(name)
+                self._admit(name)
                 metric = self._gauges[name] = Gauge(name)
             return metric
 
@@ -234,8 +423,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
-                if self._name_validator is not None:
-                    self._name_validator(name)
+                self._admit(name)
                 metric = self._histograms[name] = Histogram(name)
             return metric
 
@@ -246,8 +434,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
-                if self._name_validator is not None:
-                    self._name_validator(name)
+                self._admit(name)
                 metric = self._counters[name] = Counter(name)
             metric.inc(amount)
 
@@ -255,8 +442,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
-                if self._name_validator is not None:
-                    self._name_validator(name)
+                self._admit(name)
                 metric = self._gauges[name] = Gauge(name)
             metric.set(value)
 
@@ -264,8 +450,7 @@ class MetricsRegistry:
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
-                if self._name_validator is not None:
-                    self._name_validator(name)
+                self._admit(name)
                 metric = self._histograms[name] = Histogram(name)
             metric.observe(value)
 
@@ -323,6 +508,7 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._label_keys.clear()
 
     def __len__(self) -> int:
         with self._lock:

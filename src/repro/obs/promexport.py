@@ -32,7 +32,13 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
-from .metrics import MetricsRegistry, get_registry
+from .metrics import (
+    MetricsRegistry,
+    _escape_label_value,
+    _unescape_label_value,
+    get_registry,
+    parse_labeled,
+)
 from .timeseries import DEFAULT_WINDOWS, TimeSeries
 
 __all__ = [
@@ -121,61 +127,191 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _labels_suffix(
+    labels: "Dict[str, str]",
+    extra: "Optional[Tuple[str, str]]" = None,
+) -> str:
+    """Render a label dict as ``{k="v",...}`` (sorted, escaped).
+
+    ``extra`` appends one synthetic pair after the user labels — the
+    summary ``quantile`` label, which Prometheus convention keeps last.
+    Empty labels render as the empty string.
+    """
+    pairs = [
+        (key, _escape_label_value(value))
+        for key, value in sorted(labels.items())
+    ]
+    if extra is not None:
+        pairs.append((extra[0], _escape_label_value(extra[1])))
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _families(entries: "Dict[str, object]"):
+    """Group ``{canonical_key: value}`` by base name.
+
+    Yields ``(base, [(labels, value), ...])`` — one Prometheus metric
+    family per base name, labeled children under one ``# TYPE`` line.
+    """
+    families: "Dict[str, list]" = {}
+    for name, value in entries.items():
+        base, labels = parse_labeled(name)
+        families.setdefault(base, []).append((labels, value))
+    return families.items()
+
+
 def render_prometheus(registry: "Optional[MetricsRegistry]" = None) -> str:
-    """The whole registry in Prometheus text exposition format."""
+    """The whole registry in Prometheus text exposition format.
+
+    Labeled registry keys (``serve.fallback{stage="batch"}``) render as
+    real Prometheus labels: every label set of a base name becomes a
+    child sample under a single ``# TYPE`` family line.
+    """
     data = (registry or get_registry()).as_dict()
     lines: "list[str]" = []
-    for name, value in data["counters"].items():
+    for name, children in _families(data["counters"]):
         prom = metric_name(name) + "_total"
         lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {_format_value(value)}")
-    for name, value in data["gauges"].items():
+        for labels, value in children:
+            lines.append(
+                f"{prom}{_labels_suffix(labels)} {_format_value(value)}"
+            )
+    for name, children in _families(data["gauges"]):
         prom = metric_name(name)
         lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {_format_value(value)}")
-    for name, summary in data["histograms"].items():
+        for labels, value in children:
+            lines.append(
+                f"{prom}{_labels_suffix(labels)} {_format_value(value)}"
+            )
+    for name, children in _families(data["histograms"]):
         prom = metric_name(name)
         lines.append(f"# TYPE {prom} summary")
-        for label, key in _QUANTILES:
-            value = summary.get(key, 0.0)
+        for labels, summary in children:
+            for label, key in _QUANTILES:
+                value = summary.get(key, 0.0)
+                suffix = _labels_suffix(labels, ("quantile", label))
+                lines.append(f"{prom}{suffix} {_format_value(value)}")
             lines.append(
-                f'{prom}{{quantile="{label}"}} {_format_value(value)}'
+                f"{prom}_sum{_labels_suffix(labels)}"
+                f" {_format_value(summary['sum'])}"
             )
-        lines.append(f"{prom}_sum {_format_value(summary['sum'])}")
-        lines.append(f"{prom}_count {_format_value(summary['count'])}")
-        if summary["count"]:
+            lines.append(
+                f"{prom}_count{_labels_suffix(labels)}"
+                f" {_format_value(summary['count'])}"
+            )
+        observed = [(lbl, s) for lbl, s in children if s["count"]]
+        if observed:
             lines.append(f"# TYPE {prom}_min gauge")
-            lines.append(f"{prom}_min {_format_value(summary['min'])}")
+            for labels, summary in observed:
+                lines.append(
+                    f"{prom}_min{_labels_suffix(labels)}"
+                    f" {_format_value(summary['min'])}"
+                )
             lines.append(f"# TYPE {prom}_max gauge")
-            lines.append(f"{prom}_max {_format_value(summary['max'])}")
+            for labels, summary in observed:
+                lines.append(
+                    f"{prom}_max{_labels_suffix(labels)}"
+                    f" {_format_value(summary['max'])}"
+                )
     return "\n".join(lines) + "\n"
 
 
-_SAMPLE_LINE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{[^}]*\})?"
-    r" (?P<value>[^ ]+)$"
-)
+_SAMPLE_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_LABEL = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+def _parse_sample_line(
+    line: str, lineno: int
+) -> "Tuple[str, Dict[str, str], str]":
+    """One exposition sample line -> ``(name, labels, value_token)``.
+
+    Quote- and escape-aware, so a ``}`` or ``,`` inside a quoted label
+    value does not end the label block (the failure mode of the old
+    single-regex parser).  Raises :class:`ValueError` with the line
+    number on any malformation.
+    """
+
+    def fail(reason: str) -> "ValueError":
+        return ValueError(
+            f"malformed exposition line {lineno} ({reason}): {line!r}"
+        )
+
+    match = _SAMPLE_NAME.match(line)
+    if match is None:
+        raise fail("no metric name")
+    name = match.group(0)
+    i = match.end()
+    labels: "Dict[str, str]" = {}
+    if i < len(line) and line[i] == "{":
+        i += 1
+        while True:
+            if i >= len(line):
+                raise fail("unterminated label block")
+            if line[i] == "}":
+                i += 1
+                break
+            lmatch = _SAMPLE_LABEL.match(line, i)
+            if lmatch is None:
+                raise fail("bad label name")
+            label = lmatch.group(0)
+            i = lmatch.end()
+            if i >= len(line) or line[i] != "=":
+                raise fail("label without '='")
+            i += 1
+            if i >= len(line) or line[i] != '"':
+                raise fail("unquoted label value")
+            i += 1
+            raw: "list[str]" = []
+            while i < len(line):
+                ch = line[i]
+                if ch == "\\":
+                    if i + 1 >= len(line):
+                        raise fail("dangling escape in label value")
+                    raw.append(line[i : i + 2])
+                    i += 2
+                    continue
+                if ch == '"':
+                    break
+                raw.append(ch)
+                i += 1
+            else:
+                raise fail("unterminated label value")
+            labels[label] = _unescape_label_value("".join(raw))
+            i += 1  # closing quote
+            if i < len(line) and line[i] == ",":
+                i += 1
+    if i >= len(line) or line[i] != " ":
+        raise fail("expected a single space before the value")
+    value = line[i + 1 :]
+    if not value or " " in value:
+        raise fail("expected exactly one value token")
+    return name, labels, value
 
 
 def parse_exposition(text: str) -> "Dict[str, float]":
     """Strictly parse exposition text into ``{sample_name: value}``.
 
-    Labels are folded into the key (``serve_latency_ms{quantile="0.5"}``
-    stays one sample).  Raises :class:`ValueError` on any line that is
-    neither a comment nor a well-formed sample — the validation the CI
-    telemetry smoke leg runs on a live scrape.
+    Labels are folded into a canonical key — sorted label names,
+    re-escaped values — so ``serve_latency_ms{quantile="0.5"}`` stays
+    one sample and a rendered exposition round-trips exactly even when
+    label values contain ``,``, ``}``, quotes or newlines.  Raises
+    :class:`ValueError` on any line that is neither a comment nor a
+    well-formed sample — the validation the CI telemetry smoke leg runs
+    on a live scrape.
     """
     samples: "Dict[str, float]" = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    # Split on newline only: splitlines() would also split on control
+    # characters (\x0b, \x0c, \x1c..) that are legal inside escaped
+    # label values and would tear a sample line in two.
+    for lineno, line in enumerate(text.split("\n"), start=1):
         if not line.strip() or line.startswith("#"):
             continue
-        match = _SAMPLE_LINE.match(line)
-        if match is None:
-            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
-        key = match.group("name") + (match.group("labels") or "")
+        name, labels, token = _parse_sample_line(line, lineno)
+        key = name + _labels_suffix(labels)
         try:
-            samples[key] = float(match.group("value"))
+            samples[key] = float(token)
         except ValueError:
             raise ValueError(
                 f"non-numeric sample value on line {lineno}: {line!r}"
@@ -199,17 +335,21 @@ class MetricsServer:
         timeseries: "Optional[TimeSeries]" = None,
         tracestore=None,
         watchdog=None,
+        analytics=None,
     ):
         """``tracestore`` (a :class:`~repro.obs.tracestore.TraceStore`)
         adds ``GET /trace/<id>`` — the stored trace, its span tree and
         critical path as JSON, the link target for /telemetry exemplars.
         ``watchdog`` (a :class:`~repro.obs.slo.SLOWatchdog`) adds SLO
         state to ``/telemetry`` and flips ``/healthz`` to 503 while any
-        objective pages."""
+        objective pages.  ``analytics`` (a
+        :class:`~repro.obs.analytics.AccessRecorder`) adds
+        ``GET /analytics`` — the live workload-skew report as JSON."""
         self.registry = registry  # None = the process-wide registry
         self.timeseries = timeseries
         self.tracestore = tracestore
         self.watchdog = watchdog
+        self.analytics = analytics
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -222,6 +362,16 @@ class MetricsServer:
                         server.telemetry_document(), sort_keys=True
                     ).encode()
                     self._reply(200, "application/json", body)
+                elif self.path == "/analytics":
+                    if server.analytics is None:
+                        self._reply(
+                            404, "text/plain", b"no analytics recorder\n"
+                        )
+                    else:
+                        body = json.dumps(
+                            server.analytics.report(), sort_keys=True
+                        ).encode()
+                        self._reply(200, "application/json", body)
                 elif self.path == "/healthz":
                     if server.watchdog is not None and server.watchdog.paging:
                         self._reply(503, "text/plain", b"paging\n")
@@ -282,6 +432,8 @@ class MetricsServer:
                 "added": self.tracestore.added,
                 "dropped": self.tracestore.dropped,
             }
+        if self.analytics is not None:
+            document["analytics"] = self.analytics.report()
         return document
 
     def trace_document(self, trace_id: str) -> "Optional[Dict[str, object]]":

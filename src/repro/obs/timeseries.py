@@ -402,13 +402,26 @@ _LATENCY_METRICS = ("serve.latency_ms", "query.latency_ms")
 
 #: Counters summed into the dashboard's "fallback" rate: any answer
 #: that left the fast path (service degradation rungs, out-of-space or
-#: empty-point-query branch-and-bound fallbacks).
+#: empty-point-query branch-and-bound fallbacks).  ``serve.fallback``
+#: is dimensional (``stage=`` label), so every labeled child is summed.
 _FALLBACK_METRICS = (
-    "serve.fallback.batch",
-    "serve.fallback.serial",
-    "serve.fallback.scan",
+    "serve.fallback",
     "query.fallbacks",
 )
+
+
+def _fallback_total(snapshot: WindowSnapshot) -> float:
+    """Sum the fallback counters, including labeled children."""
+    total = 0.0
+    for base in _FALLBACK_METRICS:
+        prefix = base + "{"
+        total += snapshot.total(base)
+        total += sum(
+            window.total
+            for name, window in snapshot.metrics.items()
+            if name.startswith(prefix)
+        )
+    return total
 
 
 def dashboard(ts: TimeSeries, seconds: int = 10) -> "Dict[str, float]":
@@ -429,7 +442,7 @@ def dashboard(ts: TimeSeries, seconds: int = 10) -> "Dict[str, float]":
             break
     completed = latency.count if latency is not None else 0
     depth = snapshot.get("serve.queue.depth")
-    fallbacks = sum(snapshot.total(name) for name in _FALLBACK_METRICS)
+    fallbacks = _fallback_total(snapshot)
     return {
         "window_s": float(snapshot.seconds),
         "completed": float(completed),

@@ -1,0 +1,461 @@
+"""Workload capture: a versioned log of sampled queries and outcomes.
+
+A captured workload is the input half of an A/B experiment: re-run the
+*same* query stream against a different index, shard count, partitioner
+or cache size and diff the answers and page costs
+(:mod:`repro.eval.replay` does the re-running).  The capture format is
+deliberately tiny and versioned:
+
+* **JSONL** — a header line ``{"format": "repro.workload",
+  "version": 1, "dim": D}`` followed by one record per sampled query:
+  ``{"q": [...], "id": ..., "d": ..., "pages": ..., "source": ...}``
+  (plus ``trace_id`` when one is bound).  Append-friendly: the live
+  ``serve --capture PATH`` sink;
+* **NPZ** — the same content column-wise (``queries``, ``ids``,
+  ``distances``, ``pages``) for bulk handling, written by
+  :func:`save_workload_npz`.
+
+:func:`load_workload` reads either by extension.  Like the event log,
+the recorder samples with a seeded RNG (reproducible), serialises under
+one lock, and stays off the hot path entirely until installed —
+:func:`record_query` costs one ``is None`` check while no recorder is
+installed.  Queries executed inside a shard probe scope
+(:func:`repro.obs.analytics.shard_scope`) are skipped: the outer
+sharded query is the workload, not the N inner per-shard fan-out calls.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from . import tracectx
+from .analytics import current_shard
+
+__all__ = [
+    "WORKLOAD_FORMAT",
+    "WORKLOAD_VERSION",
+    "CapturedQuery",
+    "Workload",
+    "WorkloadFormatError",
+    "WorkloadRecorder",
+    "capturing",
+    "get_recorder",
+    "install",
+    "load_workload",
+    "record_query",
+    "save_workload_npz",
+    "uninstall",
+]
+
+WORKLOAD_FORMAT = "repro.workload"
+WORKLOAD_VERSION = 1
+
+#: In-memory retention bound for a live recorder.
+DEFAULT_CAPACITY = 100_000
+
+
+class WorkloadFormatError(ValueError):
+    """A workload file that cannot be read (wrong format or version)."""
+
+
+class CapturedQuery:
+    """One sampled query and the answer the capturing index gave."""
+
+    __slots__ = ("query", "point_id", "distance", "pages", "source",
+                 "trace_id")
+
+    def __init__(
+        self,
+        query: "np.ndarray",
+        point_id: int,
+        distance: float,
+        pages: int = 0,
+        source: str = "",
+        trace_id: "Optional[str]" = None,
+    ):
+        self.query = np.asarray(query, dtype=np.float64)
+        self.point_id = int(point_id)
+        self.distance = float(distance)
+        self.pages = int(pages)
+        self.source = source
+        self.trace_id = trace_id
+
+    def as_record(self) -> "Dict[str, Any]":
+        record: "Dict[str, Any]" = {
+            "q": self.query.tolist(),
+            "id": self.point_id,
+            "d": self.distance,
+            "pages": self.pages,
+        }
+        if self.source:
+            record["source"] = self.source
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        return record
+
+
+class Workload:
+    """A loaded capture: query matrix plus per-query outcomes."""
+
+    def __init__(
+        self,
+        queries: "np.ndarray",
+        point_ids: "np.ndarray",
+        distances: "np.ndarray",
+        pages: "Optional[np.ndarray]" = None,
+        version: int = WORKLOAD_VERSION,
+    ):
+        self.queries = np.atleast_2d(
+            np.asarray(queries, dtype=np.float64)
+        )
+        self.point_ids = np.asarray(point_ids, dtype=np.int64)
+        self.distances = np.asarray(distances, dtype=np.float64)
+        n = self.queries.shape[0]
+        if self.point_ids.shape[0] != n or self.distances.shape[0] != n:
+            raise WorkloadFormatError(
+                "queries, ids and distances disagree on length"
+            )
+        self.pages = (
+            np.asarray(pages, dtype=np.int64)
+            if pages is not None
+            else np.zeros(n, dtype=np.int64)
+        )
+        self.version = int(version)
+
+    @property
+    def dim(self) -> int:
+        return int(self.queries.shape[1]) if self.queries.size else 0
+
+    def __len__(self) -> int:
+        return int(self.queries.shape[0])
+
+    def __iter__(self) -> "Iterator[CapturedQuery]":
+        for i in range(len(self)):
+            yield CapturedQuery(
+                self.queries[i],
+                int(self.point_ids[i]),
+                float(self.distances[i]),
+                int(self.pages[i]),
+            )
+
+
+class WorkloadRecorder:
+    """Append sampled queries + outcomes to a ring and optional JSONL
+    sink.
+
+    ``sink`` may be a path (owned: opened for append, header written if
+    the file is empty, closed by :meth:`close`) or a file-like object
+    (borrowed).  ``sample=0.1`` keeps ~10% of queries, decided by a
+    seeded RNG so a capture is reproducible for a given traffic order.
+    """
+
+    def __init__(
+        self,
+        dim: "Optional[int]" = None,
+        capacity: int = DEFAULT_CAPACITY,
+        sample: float = 1.0,
+        sink: "Any | None" = None,
+        seed: int = 0,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < sample <= 1.0:
+            raise ValueError("sample must be in (0, 1]")
+        self.dim = dim
+        self.capacity = int(capacity)
+        self.sample = float(sample)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._records: "List[CapturedQuery]" = []
+        self.seen = 0
+        self.recorded = 0
+        self.dropped = 0
+        self._own_sink = isinstance(sink, (str, Path))
+        self._sink = (
+            open(sink, "a", encoding="utf-8") if self._own_sink else sink
+        )
+        self._header_written = False
+        if self._own_sink and self._sink.tell() > 0:
+            self._header_written = True  # appending to an existing log
+
+    def _write_header(self, dim: int) -> None:
+        header = {
+            "format": WORKLOAD_FORMAT,
+            "version": WORKLOAD_VERSION,
+            "dim": int(dim),
+        }
+        self._sink.write(json.dumps(header, sort_keys=True) + "\n")
+        self._header_written = True
+
+    def record(
+        self,
+        query: "np.ndarray",
+        point_id: int,
+        distance: float,
+        pages: int = 0,
+        source: str = "",
+    ) -> bool:
+        """Capture one answered query; returns whether it survived
+        sampling.  The first sinked record writes the version header."""
+        with self._lock:
+            self.seen += 1
+            if self.sample < 1.0 and self._rng.random() >= self.sample:
+                return False
+            captured = CapturedQuery(
+                query,
+                point_id,
+                distance,
+                pages,
+                source,
+                tracectx.current_trace_id(),
+            )
+            if self.dim is None:
+                self.dim = int(captured.query.shape[-1])
+            if len(self._records) >= self.capacity:
+                self._records.pop(0)
+                self.dropped += 1
+            self._records.append(captured)
+            self.recorded += 1
+            if self._sink is not None:
+                if not self._header_written:
+                    self._write_header(self.dim)
+                self._sink.write(
+                    json.dumps(captured.as_record(), sort_keys=True) + "\n"
+                )
+                self._sink.flush()
+        return True
+
+    def workload(self) -> Workload:
+        """The retained capture as a :class:`Workload` (copy)."""
+        with self._lock:
+            records = list(self._records)
+        if not records:
+            dim = self.dim or 0
+            return Workload(
+                np.empty((0, dim)), np.empty(0, np.int64), np.empty(0)
+            )
+        return Workload(
+            np.stack([r.query for r in records]),
+            np.array([r.point_id for r in records], dtype=np.int64),
+            np.array([r.distance for r in records]),
+            np.array([r.pages for r in records], dtype=np.int64),
+        )
+
+    def close(self) -> None:
+        """Close an owned (path-opened) sink; borrowed sinks are kept."""
+        with self._lock:
+            if self._own_sink and self._sink is not None:
+                self._sink.close()
+            self._sink = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+def save_workload_npz(workload: Workload, path: "str | Path") -> Path:
+    """Write a workload column-wise to ``path`` (``.npz``)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format=np.array(WORKLOAD_FORMAT),
+        version=np.array(WORKLOAD_VERSION, dtype=np.int64),
+        queries=workload.queries,
+        ids=workload.point_ids,
+        distances=workload.distances,
+        pages=workload.pages,
+    )
+    return path
+
+
+def _load_jsonl(path: Path) -> Workload:
+    queries: "List[List[float]]" = []
+    ids: "List[int]" = []
+    distances: "List[float]" = []
+    pages: "List[int]" = []
+    header: "Optional[Dict[str, Any]]" = None
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise WorkloadFormatError(
+                    f"{path}:{lineno}: not JSON: {err}"
+                ) from err
+            if header is None:
+                if record.get("format") != WORKLOAD_FORMAT:
+                    raise WorkloadFormatError(
+                        f"{path}: missing workload header (format"
+                        f" {record.get('format')!r})"
+                    )
+                if record.get("version") != WORKLOAD_VERSION:
+                    raise WorkloadFormatError(
+                        f"{path}: unsupported workload version"
+                        f" {record.get('version')!r}"
+                    )
+                header = record
+                continue
+            try:
+                queries.append([float(x) for x in record["q"]])
+                ids.append(int(record["id"]))
+                distances.append(float(record["d"]))
+                pages.append(int(record.get("pages", 0)))
+            except (KeyError, TypeError, ValueError) as err:
+                raise WorkloadFormatError(
+                    f"{path}:{lineno}: malformed record: {err}"
+                ) from err
+    if header is None:
+        raise WorkloadFormatError(f"{path}: empty workload file")
+    dim = int(header.get("dim", 0))
+    if not queries:
+        return Workload(
+            np.empty((0, dim)), np.empty(0, np.int64), np.empty(0)
+        )
+    return Workload(
+        np.asarray(queries),
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(distances),
+        np.asarray(pages, dtype=np.int64),
+    )
+
+
+def _load_npz(path: Path) -> Workload:
+    with np.load(path, allow_pickle=False) as data:
+        if "format" not in data or str(data["format"]) != WORKLOAD_FORMAT:
+            raise WorkloadFormatError(
+                f"{path}: not a workload archive"
+            )
+        version = int(data["version"])
+        if version != WORKLOAD_VERSION:
+            raise WorkloadFormatError(
+                f"{path}: unsupported workload version {version}"
+            )
+        return Workload(
+            data["queries"],
+            data["ids"],
+            data["distances"],
+            data["pages"],
+            version=version,
+        )
+
+
+def load_workload(path: "str | Path") -> Workload:
+    """Read a captured workload — ``.npz`` archives by signature,
+    anything else as JSONL.  Raises :class:`WorkloadFormatError`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadFormatError(f"{path}: no such workload file")
+    if path.suffix == ".npz":
+        return _load_npz(path)
+    return _load_jsonl(path)
+
+
+# ======================================================================
+# Module-level fast path (mirrors repro.obs.events)
+# ======================================================================
+
+_recorder: "Optional[WorkloadRecorder]" = None
+
+
+def install(
+    recorder: "Optional[WorkloadRecorder]" = None, **kwargs: Any
+) -> WorkloadRecorder:
+    """Install (and return) the process-wide workload recorder."""
+    global _recorder
+    if recorder is not None and kwargs:
+        raise ValueError(
+            "pass a WorkloadRecorder or constructor kwargs, not both"
+        )
+    _recorder = (
+        recorder if recorder is not None else WorkloadRecorder(**kwargs)
+    )
+    return _recorder
+
+
+def uninstall() -> None:
+    """Remove the workload recorder (the caller closes it)."""
+    global _recorder
+    _recorder = None
+
+
+def get_recorder() -> "Optional[WorkloadRecorder]":
+    """The installed recorder, or ``None``."""
+    return _recorder
+
+
+def record_query(
+    query: "np.ndarray",
+    point_id: int,
+    distance: float,
+    pages: int = 0,
+    source: str = "",
+) -> None:
+    """Hot-path capture hook; one ``is None`` check when off.
+
+    Skips queries executing inside a shard probe scope — the sharded
+    index records the outer query once, not its N fan-out probes.
+    """
+    recorder = _recorder
+    if recorder is None:
+        return
+    if current_shard() is not None:
+        return
+    recorder.record(query, point_id, distance, pages, source)
+
+
+def record_batch(
+    queries: "np.ndarray",
+    point_ids: "np.ndarray",
+    distances: "np.ndarray",
+    pages: int = 0,
+) -> None:
+    """Hot-path capture hook for one answered batch (no-op when off).
+
+    The batch's shared page cost is amortised evenly across its queries
+    (the same accounting the batched engine itself reports).
+    """
+    recorder = _recorder
+    if recorder is None:
+        return
+    if current_shard() is not None:
+        return
+    n = int(queries.shape[0])
+    if n == 0:
+        return
+    per_query = int(pages) // n
+    for i in range(n):
+        recorder.record(
+            queries[i],
+            int(point_ids[i]),
+            float(distances[i]),
+            per_query,
+            source="batch",
+        )
+
+
+@contextmanager
+def capturing(**kwargs: Any) -> "Iterator[WorkloadRecorder]":
+    """Capture queries for a ``with`` block onto a fresh recorder."""
+    global _recorder
+    previous = _recorder
+    fresh = WorkloadRecorder(**kwargs)
+    _recorder = fresh
+    try:
+        yield fresh
+    finally:
+        _recorder = previous
+        fresh.close()

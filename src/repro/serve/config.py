@@ -102,6 +102,14 @@ class TelemetryConfig:
     #: (``QueryService.set_degraded``): shed the batching delay while an
     #: objective burns its budget.
     slo_degrade: bool = False
+    #: Run the workload-analytics access recorder (cell/page heatmaps,
+    #: per-shard load shares, ``GET /analytics``, ``repro analyze``).
+    analytics: bool = False
+    #: Capture served queries and their answers to this workload log
+    #: (JSONL; replayable with ``repro replay``); ``None`` = no capture.
+    capture_path: "Optional[str]" = None
+    #: Workload capture sampling rate in (0, 1] (1 = every query).
+    capture_sample: float = 1.0
 
     def __post_init__(self):
         if self.metrics_port is not None and not (
@@ -116,6 +124,8 @@ class TelemetryConfig:
             raise ValueError("trace_capacity must be >= 1")
         if self.slo_interval_s <= 0.0:
             raise ValueError("slo_interval_s must be > 0")
+        if not 0.0 < self.capture_sample <= 1.0:
+            raise ValueError("capture_sample must be in (0, 1]")
 
     @property
     def active(self) -> bool:
@@ -126,4 +136,6 @@ class TelemetryConfig:
             or self.events_path is not None
             or self.tracing
             or self.slo
+            or self.analytics
+            or self.capture_path is not None
         )

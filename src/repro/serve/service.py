@@ -46,11 +46,18 @@ import numpy as np
 
 from ..index.linear_scan import LinearScan
 from ..obs import events, metrics, tracectx, tracestore, tracing
+from ..obs.metrics import labeled
 from ..obs.tracing import Span, span
 from .config import ServeConfig
 from .errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded
 
 __all__ = ["PendingResult", "QueryResult", "QueryService"]
+
+# Dimensional fallback counters: one base name, the rung as a label.
+# Precomputed once so the hot path pays no label escaping.
+_FALLBACK_BATCH = labeled("serve.fallback", stage="batch")
+_FALLBACK_SERIAL = labeled("serve.fallback", stage="serial")
+_FALLBACK_SCAN = labeled("serve.fallback", stage="scan")
 
 
 @dataclass(frozen=True)
@@ -598,7 +605,7 @@ class QueryService:
         except Exception:
             with self._cond:
                 self._stats["fallback_batch"] += 1
-            metrics.inc("serve.fallback.batch")
+            metrics.inc(_FALLBACK_BATCH)
         results = []
         pages = 0
         for request in live:
@@ -621,14 +628,14 @@ class QueryService:
                 pages += int(info.pages)
                 with self._cond:
                     self._stats["fallback_serial"] += 1
-                metrics.inc("serve.fallback.serial")
+                metrics.inc(_FALLBACK_SERIAL)
             except Exception:
                 point_id, distance, scanned = self._scan_nearest(request.point)
                 results.append(QueryResult(point_id, distance, "scan"))
                 pages += scanned
                 with self._cond:
                     self._stats["fallback_scan"] += 1
-                metrics.inc("serve.fallback.scan")
+                metrics.inc(_FALLBACK_SCAN)
         return results, pages
 
     def _scan_nearest(self, q: np.ndarray) -> "tuple[int, float, int]":

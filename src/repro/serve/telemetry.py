@@ -25,7 +25,15 @@ import sys
 import threading
 from typing import IO, Optional
 
-from ..obs import events, metrics, slo as slo_mod, tracestore, tracing
+from ..obs import (
+    analytics as analytics_mod,
+    events,
+    metrics,
+    slo as slo_mod,
+    tracestore,
+    tracing,
+    workload as workload_mod,
+)
 from ..obs.promexport import MetricsServer, validate_metric_name
 from ..obs.timeseries import TimeSeries, dashboard_line
 from .config import TelemetryConfig
@@ -59,6 +67,8 @@ class TelemetrySession:
         self.event_log: "Optional[events.EventLog]" = None
         self.tracestore: "Optional[tracestore.TraceStore]" = None
         self.watchdog: "Optional[slo_mod.SLOWatchdog]" = None
+        self.analytics: "Optional[analytics_mod.AccessRecorder]" = None
+        self.workload: "Optional[workload_mod.WorkloadRecorder]" = None
         self._degrade_target = None
         self._prev_tracer = None
         self._stop = threading.Event()
@@ -85,6 +95,13 @@ class TelemetrySession:
                 self.timeseries, on_change=self._on_slo_change
             )
             self.watchdog.start(self.config.slo_interval_s)
+        if self.config.analytics:
+            self.analytics = analytics_mod.install()
+        if self.config.capture_path is not None:
+            self.workload = workload_mod.install(
+                sink=self.config.capture_path,
+                sample=self.config.capture_sample,
+            )
         if self.config.metrics_port is not None:
             self.server = MetricsServer(
                 host=self.config.metrics_host,
@@ -92,6 +109,7 @@ class TelemetrySession:
                 timeseries=self.timeseries,
                 tracestore=self.tracestore,
                 watchdog=self.watchdog,
+                analytics=self.analytics,
             ).start()
         if self.config.stats_interval_s > 0.0:
             self._printer = threading.Thread(
@@ -146,6 +164,11 @@ class TelemetrySession:
             self.watchdog.stop()
             if self._degrade_target is not None and self.config.slo_degrade:
                 self._degrade_target.set_degraded(False)
+        if self.workload is not None:
+            workload_mod.uninstall()
+            self.workload.close()
+        if self.analytics is not None:
+            analytics_mod.uninstall()
         if self.config.tracing:
             tracing.disable()
             tracing.set_tracer(self._prev_tracer)

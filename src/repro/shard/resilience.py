@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import metrics
+from ..obs.metrics import labeled
 from .errors import AllShardsFailed, ShardProbeError
 
 __all__ = ["ResilienceConfig", "ScatterReport", "resilient_gather"]
@@ -195,7 +196,7 @@ def resilient_gather(
         state.futures = []
         if state.attempts <= config.max_retries:
             retries += 1
-            metrics.inc("shard.retry")
+            metrics.inc(labeled("shard.retry", shard=str(state.shard)))
             state.backoff_until = now + config.backoff_s(state.attempts + 1)
             state.deadline = None
             state.hedge_at = None
@@ -248,7 +249,7 @@ def resilient_gather(
             # 3. Attempt timeout.
             if state.deadline is not None and now >= state.deadline:
                 timeouts += 1
-                metrics.inc("shard.timeout")
+                metrics.inc(labeled("shard.timeout", shard=str(state.shard)))
                 attempt_failed(state, REASON_TIMEOUT, now)
                 if state.backoff_until is not None:
                     next_event = _min_event(next_event, state.backoff_until)
@@ -259,7 +260,7 @@ def resilient_gather(
                 if now >= state.hedge_at:
                     state.hedged = True
                     hedges += 1
-                    metrics.inc("shard.hedge")
+                    metrics.inc(labeled("shard.hedge", shard=str(state.shard)))
                     state.futures.append(submit(state.shard))
                 else:
                     next_event = _min_event(next_event, state.hedge_at)

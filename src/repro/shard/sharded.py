@@ -53,7 +53,7 @@ from ..core.nncell_index import (
 from ..engine.batch import BatchQueryInfo
 from ..engine.parallel import resolve_workers
 from ..geometry.mbr import MBR
-from ..obs import metrics
+from ..obs import analytics, metrics, workload
 from ..obs.tracing import carrier, span
 from .partition import PARTITIONER_KINDS, make_partitioner
 from .resilience import (
@@ -349,7 +349,11 @@ class ShardedNNCellIndex:
 
         def run(item: "Tuple[int, NNCellIndex]"):
             s, shard = item
-            with span("shard.probe", shard=s):
+            # shard_scope is entered here, *on* the probing thread, so the
+            # page/cell hooks below attribute their traffic to shard ``s``
+            # (contextvars do not propagate into pool threads by default).
+            with span("shard.probe", shard=s), analytics.shard_scope(s):
+                analytics.record_probe(s)
                 if chaos is not None:
                     chaos.before_probe(s)
                 return probe(shard)
@@ -439,6 +443,9 @@ class ShardedNNCellIndex:
                 root.set("failed_shards", list(report.failed_shards))
         metrics.inc("shard.query.count")
         metrics.observe("shard.query.pages", info.pages)
+        workload.record_query(
+            q, int(best_gid), float(best_dist), info.pages, source="sharded"
+        )
         return int(best_gid), float(best_dist), info
 
     def k_nearest(
@@ -546,6 +553,7 @@ class ShardedNNCellIndex:
         metrics.inc("shard.batch.count")
         metrics.inc("shard.batch.queries", m)
         metrics.observe("shard.query.pages", info.pages)
+        workload.record_batch(qs, ids, dists, info.pages)
         return ids, dists, info
 
     def nearest_batch(

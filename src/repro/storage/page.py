@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from ..obs import metrics
+from ..obs import analytics, metrics
 from .cache import LRUCache
 
 __all__ = ["AccessStats", "PageManager", "DEFAULT_PAGE_SIZE"]
@@ -167,10 +167,14 @@ class PageManager:
         if self._cache is None:
             self.stats.physical_reads += page.n_blocks
             metrics.inc("storage.physical_reads", page.n_blocks)
+            analytics.record_page(page_id, page.n_blocks)
         elif not self._cache.touch(page_id):
             self.stats.physical_reads += page.n_blocks
             metrics.inc("storage.physical_reads", page.n_blocks)
             self._cache_put(page_id, page.n_blocks)
+            analytics.record_page(page_id, page.n_blocks, hit=False)
+        else:
+            analytics.record_page(page_id, page.n_blocks, hit=True)
         return page.payload
 
     def write(self, page_id: int, payload: Any, n_blocks: "int | None" = None) -> None:

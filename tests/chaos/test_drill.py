@@ -75,7 +75,7 @@ class TestFaultedDrills:
         )
         assert report.passed
         assert report.outcomes.get("ok") == N_QUERIES
-        assert report.counters.get("serve.fallback.scan", 0) > 0
+        assert report.counters.get('serve.fallback{stage="scan"}', 0) > 0
 
     def test_transient_faults_stay_invisible(self, sharded):
         sharded.set_resilience(ResilienceConfig(

@@ -10,7 +10,11 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabelCardinalityError,
     MetricsRegistry,
+    base_name,
+    labeled,
+    parse_labeled,
 )
 
 
@@ -258,3 +262,114 @@ class TestTimeseriesSink:
         assert metrics.get_timeseries() is None
         metrics.inc("serve.rejected")
         assert ts.window(10).names() == []
+
+
+class TestLabels:
+    """Canonical labeled keys, escaping, and the cardinality guard."""
+
+    def test_labeled_builds_sorted_canonical_key(self):
+        key = labeled("serve.fallback", stage="batch", shard="3")
+        assert key == 'serve.fallback{shard="3",stage="batch"}'
+
+    def test_labeled_without_labels_is_the_base_name(self):
+        assert labeled("serve.fallback") == "serve.fallback"
+
+    def test_labeled_escapes_quotes_backslashes_newlines(self):
+        key = labeled("m", v='a"b\\c\nd')
+        assert key == 'm{v="a\\"b\\\\c\\nd"}'
+        base, labels_dict = parse_labeled(key)
+        assert base == "m"
+        assert labels_dict == {"v": 'a"b\\c\nd'}
+
+    def test_labeled_rejects_bad_label_names(self):
+        with pytest.raises(ValueError):
+            labeled("m", **{"bad-name": "v"})
+
+    def test_labeled_rejects_brace_in_base_name(self):
+        with pytest.raises(ValueError):
+            labeled("m{oops", k="v")
+
+    def test_parse_labeled_round_trips_tricky_values(self):
+        tricky = 'we"ird,}\n\\val'
+        key = labeled("shard.retry", shard=tricky, other="x")
+        base, labels_dict = parse_labeled(key)
+        assert base == "shard.retry"
+        assert labels_dict == {"shard": tricky, "other": "x"}
+
+    def test_parse_labeled_rejects_malformed_keys(self):
+        for bad in ("m{", 'm{k="v"', "m{k=v}", 'm{k="v"x}'):
+            with pytest.raises(ValueError):
+                parse_labeled(bad)
+
+    def test_base_name_strips_label_block(self):
+        assert base_name('serve.fallback{stage="scan"}') == "serve.fallback"
+        assert base_name("serve.fallback") == "serve.fallback"
+
+    def test_sum_labeled_aggregates_children_and_base(self):
+        flat = {
+            "shard.retry": 1.0,
+            'shard.retry{shard="0"}': 2.0,
+            'shard.retry{shard="1"}': 3.0,
+            "shard.retries": 100.0,  # different base: not summed
+        }
+        assert metrics.sum_labeled(flat, "shard.retry") == 6.0
+
+    def test_registry_accepts_labeled_counters(self):
+        reg = MetricsRegistry()
+        reg.inc(labeled("shard.retry", shard="2"), 5)
+        flat = reg.snapshot()
+        assert flat['shard.retry{shard="2"}'] == 5.0
+
+    def test_cardinality_cap_raises_typed_error(self):
+        reg = MetricsRegistry(max_label_sets=3)
+        for i in range(3):
+            reg.inc(labeled("m", shard=str(i)))
+        with pytest.raises(LabelCardinalityError) as excinfo:
+            reg.inc(labeled("m", shard="overflow"))
+        assert excinfo.value.base == "m"
+        assert excinfo.value.cap == 3
+
+    def test_cardinality_cap_is_per_base_name(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.inc(labeled("a", k="1"))
+        reg.inc(labeled("a", k="2"))
+        reg.inc(labeled("b", k="1"))  # different base: fresh budget
+        with pytest.raises(LabelCardinalityError):
+            reg.inc(labeled("a", k="3"))
+
+    def test_repeat_label_sets_do_not_consume_budget(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        key = labeled("m", k="v")
+        for __ in range(10):
+            reg.inc(key)
+        assert reg.snapshot()[key] == 10.0
+
+    def test_unlabeled_name_not_counted_against_cap(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.inc("m")
+        reg.inc(labeled("m", k="v"))
+        assert reg.snapshot()["m"] == 1.0
+
+    def test_malformed_labeled_key_rejected_at_admission(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc('m{k=unquoted}')
+
+    def test_reset_clears_label_budget(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.inc(labeled("m", k="a"))
+        reg.reset()
+        reg.inc(labeled("m", k="b"))  # would raise without the reset
+        assert reg.snapshot() == {'m{k="b"}': 1.0}
+
+    def test_validator_runs_on_the_base_name(self):
+        reg = MetricsRegistry()
+
+        def validator(name):
+            if name == "forbidden":
+                raise ValueError("nope")
+
+        reg.set_name_validator(validator)
+        reg.inc(labeled("allowed", k="v"))
+        with pytest.raises(ValueError):
+            reg.inc(labeled("forbidden", k="v"))

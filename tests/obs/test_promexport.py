@@ -5,7 +5,15 @@ import urllib.request
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    labeled,
+    parse_labeled,
+    sum_labeled,
+)
 from repro.obs.promexport import (
     CONTENT_TYPE,
     ExpositionNameError,
@@ -270,3 +278,98 @@ class TestWatchdogWiring:
         document = json.loads(body)
         assert document["slo"]["state"] == "ok"
         assert len(document["slo"]["objectives"]) == 4
+
+
+class TestLabeledExposition:
+    """Dimensional registry keys render as real Prometheus labels."""
+
+    @pytest.fixture
+    def labeled_registry(self):
+        reg = MetricsRegistry()
+        reg.inc(labeled("shard.retry", shard="0"), 2)
+        reg.inc(labeled("shard.retry", shard="1"), 5)
+        reg.inc(labeled("serve.fallback", stage="batch"), 1)
+        reg.set_gauge(labeled("shard.depth", shard="1"), 9)
+        reg.observe(labeled("shard.latency_ms", shard="0"), 3.0)
+        return reg
+
+    def test_one_type_line_per_family(self, labeled_registry):
+        text = render_prometheus(labeled_registry)
+        assert text.count("# TYPE shard_retry_total counter") == 1
+        assert 'shard_retry_total{shard="0"} 2' in text
+        assert 'shard_retry_total{shard="1"} 5' in text
+
+    def test_labeled_gauge_and_summary(self, labeled_registry):
+        text = render_prometheus(labeled_registry)
+        assert 'shard_depth{shard="1"} 9' in text
+        assert 'shard_latency_ms{shard="0",quantile="0.5"} 3' in text
+        assert 'shard_latency_ms_sum{shard="0"} 3' in text
+        assert 'shard_latency_ms_count{shard="0"} 1' in text
+
+    def test_scrape_round_trips_to_canonical_keys(self, labeled_registry):
+        samples = parse_exposition(render_prometheus(labeled_registry))
+        assert samples['shard_retry_total{shard="0"}'] == 2.0
+        assert samples['shard_retry_total{shard="1"}'] == 5.0
+        assert samples['serve_fallback_total{stage="batch"}'] == 1.0
+        assert sum_labeled(samples, "shard_retry_total") == 7.0
+
+    def test_tricky_label_values_survive_the_round_trip(self):
+        reg = MetricsRegistry()
+        tricky = 'we"ird,}\n\\val'
+        reg.inc(labeled("m", k=tricky), 4)
+        samples = parse_exposition(render_prometheus(reg))
+        [(key, value)] = samples.items()
+        assert value == 4.0
+        base, labels_dict = parse_labeled(key.replace("m_total", "m", 1))
+        assert labels_dict == {"k": tricky}
+
+    def test_parser_rejects_malformed_label_lines(self):
+        for bad in (
+            'm{k="v" 1',          # unterminated label block
+            'm{k=v} 1',           # unquoted value
+            'm{k="v",} junk 1',   # two value tokens
+            'm{k="v\\"} 1',       # dangling escape eats the quote
+            'm{0k="v"} 1',        # bad label name
+        ):
+            with pytest.raises(ValueError):
+                parse_exposition(bad)
+
+
+@st.composite
+def label_values(draw):
+    return draw(
+        st.text(
+            alphabet=st.characters(
+                codec="ascii", exclude_characters="\r"
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+
+
+class TestLabeledRoundTripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.dictionaries(
+            st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True),
+            label_values(),
+            min_size=1,
+            max_size=3,
+        ),
+        count=st.integers(min_value=1, max_value=100),
+    )
+    def test_any_label_values_round_trip(self, values, count):
+        """Rendered expositions parse back to the exact canonical key,
+        whatever quotes/commas/braces/newlines the values contain."""
+        reg = MetricsRegistry()
+        key = labeled("prop.metric", **values)
+        reg.inc(key, count)
+        samples = parse_exposition(render_prometheus(reg))
+        [(sample_key, value)] = samples.items()
+        assert value == float(count)
+        base, parsed = parse_labeled(
+            sample_key.replace("prop_metric_total", "prop.metric", 1)
+        )
+        assert base == "prop.metric"
+        assert parsed == values

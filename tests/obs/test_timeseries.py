@@ -176,7 +176,7 @@ class TestDashboard:
     def test_fallback_share_sums_all_rungs(self, ts):
         for __ in range(8):
             ts.observe("serve.latency_ms", 1.0)
-        ts.add("serve.fallback.serial", 1)
+        ts.add('serve.fallback{stage="serial"}', 1)
         ts.add("query.fallbacks", 1)
         assert dashboard(ts)["fallback_pct"] == pytest.approx(25.0)
 

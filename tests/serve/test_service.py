@@ -280,8 +280,8 @@ class TestFallbackLadder:
         )
         assert result.source == "serial"
         counters = registry.as_dict()["counters"]
-        assert counters["serve.fallback.batch"] == 1
-        assert counters["serve.fallback.serial"] == 1
+        assert counters['serve.fallback{stage="batch"}'] == 1
+        assert counters['serve.fallback{stage="serial"}'] == 1
 
     def test_serial_failure_degrades_to_scan(self, index, registry,
                                              monkeypatch):
@@ -302,9 +302,9 @@ class TestFallbackLadder:
         assert result.point_id == brute
         assert result.source == "scan"
         counters = registry.as_dict()["counters"]
-        assert counters["serve.fallback.batch"] == 1
-        assert counters["serve.fallback.scan"] == 1
-        assert "serve.fallback.serial" not in counters
+        assert counters['serve.fallback{stage="batch"}'] == 1
+        assert counters['serve.fallback{stage="scan"}'] == 1
+        assert 'serve.fallback{stage="serial"}' not in counters
 
     def test_whole_batch_survives_mixed_ladder(self, index):
         """Every request in a failing batch still gets an exact answer."""

@@ -876,3 +876,117 @@ class TestChaosAndResilience:
         )
         assert code != 0
         assert "sharded" in stderr
+
+
+class TestAnalyzeAndReplayCommands:
+    @pytest.fixture
+    def captured_setup(self, tmp_path, capsys):
+        """A built index plus a workload captured against it."""
+        from repro.core.persistence import load_any_index
+        from repro.obs import workload as obs_workload
+
+        index_path = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "60",
+            "--dim", "3", "--out", str(index_path),
+        )
+        assert code == 0
+        capture = tmp_path / "capture.jsonl"
+        index = load_any_index(index_path)
+        with obs_workload.capturing(sink=capture):
+            rng = np.random.default_rng(5)
+            for q in rng.uniform(size=(12, 3)):
+                index.nearest(q)
+        return index_path, capture
+
+    def test_replay_reports_bit_parity(self, captured_setup, capsys):
+        index_path, capture = captured_setup
+        code, stdout, __ = run(
+            capsys, "replay", str(index_path), "--workload", str(capture),
+        )
+        assert code == 0
+        assert "bit-identical" in stdout
+
+    def test_replay_json_and_batch_mode(self, captured_setup, capsys):
+        import json as json_mod
+
+        index_path, capture = captured_setup
+        code, stdout, __ = run(
+            capsys, "replay", str(index_path), "--workload", str(capture),
+            "--mode", "batch", "--json",
+        )
+        assert code == 0
+        doc = json_mod.loads(stdout)
+        assert doc["bit_identical"] is True
+        assert doc["n_queries"] == 12
+        assert doc["mode"] == "batch"
+
+    def test_replay_doctored_capture_exits_nonzero(
+        self, captured_setup, tmp_path, capsys
+    ):
+        import json as json_mod
+
+        index_path, capture = captured_setup
+        lines = capture.read_text().splitlines()
+        doctored = [lines[0]]
+        for line in lines[1:]:
+            record = json_mod.loads(line)
+            record["id"] += 1
+            doctored.append(json_mod.dumps(record))
+        bad = tmp_path / "doctored.jsonl"
+        bad.write_text("\n".join(doctored) + "\n")
+        code, stdout, __ = run(
+            capsys, "replay", str(index_path), "--workload", str(bad),
+        )
+        assert code == 1
+        assert "MISMATCHES" in stdout
+
+    def test_analyze_balanced_unsharded_traffic(
+        self, captured_setup, capsys
+    ):
+        index_path, capture = captured_setup
+        code, stdout, __ = run(
+            capsys, "analyze", str(index_path),
+            "--workload", str(capture),
+        )
+        assert code == 0  # unsharded: nothing to convict
+        assert "hot cells" in stdout
+
+    def test_analyze_sharded_json_report(self, captured_setup, capsys):
+        import json as json_mod
+
+        index_path, capture = captured_setup
+        code, stdout, __ = run(
+            capsys, "analyze", str(index_path),
+            "--workload", str(capture), "--shards", "2", "--json",
+        )
+        assert code in (0, 2)  # verdict depends on the random workload
+        doc = json_mod.loads(stdout)
+        assert sorted(doc["shards"]) == ["0", "1"]
+        assert doc["format"] == "repro.analytics"
+        assert "hot_cells" in doc and "verdict" in doc
+
+    def test_serve_capture_writes_replayable_workload(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        index_path = tmp_path / "idx.npz"
+        code, __, __ = run(
+            capsys, "build", "--dataset", "uniform", "--n", "40",
+            "--dim", "3", "--out", str(index_path),
+        )
+        assert code == 0
+        capture = tmp_path / "served.jsonl"
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('[0.5, 0.5, 0.5]\n[0.1, 0.9, 0.4]\n')
+        )
+        code, __, __ = run(
+            capsys, "serve", str(index_path), "--capture", str(capture),
+        )
+        assert code == 0
+        code, stdout, __ = run(
+            capsys, "replay", str(index_path), "--workload", str(capture),
+        )
+        assert code == 0
+        assert "replayed 2 queries" in stdout

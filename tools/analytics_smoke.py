@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Workload-analytics smoke test, run by CI's ``analytics-smoke`` job.
+
+End-to-end proof that the analytics layer detects a real hotspot on a
+real serving process and that its capture replays exactly:
+
+1. build a 4-shard hilbert-partitioned archive (1000 uniform points,
+   dim 4) via the CLI and launch ``python -m repro serve <archive>
+   --metrics-port 0 --analytics --capture capture.jsonl``;
+2. drive 200 *deliberately skewed* queries over JSONL stdin — every
+   query lands within noise of a point shard 0 owns, so shard 0 does
+   the candidate-scan work while the other shards probe shallowly;
+3. scrape ``GET /analytics`` once the capture confirms all queries were
+   answered, and assert the skew report convicts the right shard: four
+   shards accounted, verdict not balanced, shard 0 named hot with the
+   top work share, and a non-empty hot-cell heatmap;
+4. drain the responses (every one must succeed), then load the capture
+   and **replay** it against the same archive in-process — serial and
+   batched modes must both be bit-identical (zero mismatches);
+5. run ``python -m repro analyze`` on the capture and assert the
+   scriptable verdict: exit status 2 (skew detected) and shard 0 in
+   ``verdict.hot_shards`` of the ``--json`` document.
+
+Exits non-zero with a message on any violation.  Also runnable
+locally::
+
+    PYTHONPATH=src python tools/analytics_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+if str(REPO_SRC) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.core.persistence import load_any_index  # noqa: E402
+from repro.eval.replay import replay  # noqa: E402
+from repro.obs.workload import load_workload  # noqa: E402
+
+_ENDPOINT = re.compile(
+    r"metrics endpoint: (http://127\.0\.0\.1:\d+)/metrics"
+)
+
+N_POINTS = 1000
+DIM = 4
+N_SHARDS = 4
+N_QUERIES = 200
+#: The shard the skewed workload should convict.
+HOT_SHARD = 0
+#: Noise radius around shard 0's own points — tight enough that every
+#: query stays in shard 0's neighborhood of the data space.
+NOISE_SIGMA = 0.002
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"analytics smoke FAILED: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def _env() -> "dict[str, str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def build_archive(workdir: Path) -> Path:
+    archive = workdir / "shards"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "build", "--dataset", "uniform",
+         "--n", str(N_POINTS), "--dim", str(DIM),
+         "--shards", str(N_SHARDS), "--partitioner", "hilbert",
+         "--out", str(archive)],
+        check=True, env=_env(), capture_output=True,
+    )
+    return archive
+
+
+def skewed_queries(archive: Path) -> "np.ndarray":
+    """200 queries clustered on the points shard 0 owns.
+
+    Scatter-gather probes every shard, so *probe* counts are uniform by
+    design; the skew shows up in the per-shard work (blocks + cells).
+    Clustering queries on one shard's own points concentrates the
+    candidate scans there.
+    """
+    index = load_any_index(archive)
+    try:
+        owned = index._globals[HOT_SHARD]
+        anchors = index.points[owned]
+    finally:
+        index.close()
+    rng = np.random.default_rng(1234)
+    picks = anchors[np.arange(N_QUERIES) % anchors.shape[0]]
+    noisy = picks + rng.normal(0.0, NOISE_SIGMA, size=picks.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def launch_serve(
+    archive: Path, capture: Path
+) -> "tuple[subprocess.Popen, str, threading.Thread]":
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(archive),
+         "--metrics-port", "0", "--analytics",
+         "--capture", str(capture)],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    stderr_lines: "list[str]" = []
+    announced = threading.Event()
+
+    def read_stderr() -> None:
+        for line in proc.stderr:
+            stderr_lines.append(line)
+            if _ENDPOINT.search(line):
+                announced.set()
+        announced.set()  # EOF: stop waiters even on startup failure
+
+    reader = threading.Thread(target=read_stderr, daemon=True)
+    reader.start()
+    check(announced.wait(timeout=60.0), "no metrics endpoint announced")
+    match = next(
+        (m for line in stderr_lines for m in [_ENDPOINT.search(line)]
+         if m),
+        None,
+    )
+    check(match is not None,
+          f"endpoint line not found in stderr: {stderr_lines}")
+    return proc, match.group(1), reader
+
+
+def wait_for_capture(capture: Path, n_expected: int) -> None:
+    """Block until the capture log holds header + ``n_expected`` rows —
+    the proof every submitted query has been answered and recorded."""
+    deadline = time.monotonic() + 120.0
+    lines = 0
+    while time.monotonic() < deadline:
+        if capture.exists():
+            with open(capture, encoding="utf-8") as handle:
+                lines = sum(1 for __ in handle)
+            if lines >= n_expected + 1:
+                return
+        time.sleep(0.2)
+    check(False, f"capture stalled at {lines - 1}/{n_expected} records")
+
+
+def assert_skew_report(report: dict) -> None:
+    shards = report.get("shards", {})
+    check(sorted(shards) == [str(s) for s in range(N_SHARDS)],
+          f"expected {N_SHARDS} shards in the report, got {sorted(shards)}")
+    verdict = report.get("verdict", {})
+    check(verdict.get("balanced") is False,
+          f"skewed workload reported as balanced: {verdict}")
+    check(HOT_SHARD in verdict.get("hot_shards", []),
+          f"shard {HOT_SHARD} not named hot: {verdict}")
+    shares = {int(s): row["load_share"] for s, row in shards.items()}
+    check(max(shares, key=shares.get) == HOT_SHARD,
+          f"shard {HOT_SHARD} does not carry the top work share: {shares}")
+    hot_cells = report.get("hot_cells", {})
+    check(hot_cells.get("tracked", 0) > 0 and hot_cells.get("top"),
+          f"hot-cell heatmap is empty: {hot_cells}")
+    check(report.get("total_probes", 0) > 0, "no probes recorded")
+    print(
+        f"skew report OK: shard {HOT_SHARD} hot with"
+        f" {shares[HOT_SHARD]:.1%} of the work (gini"
+        f" {verdict.get('gini')}), {hot_cells['tracked']} cells tracked"
+    )
+
+
+def replay_leg(archive: Path, capture: Path) -> None:
+    """The capture must replay bit-identically against the archive."""
+    workload = load_workload(capture)
+    check(len(workload) == N_QUERIES,
+          f"capture holds {len(workload)} queries, expected {N_QUERIES}")
+    index = load_any_index(archive)
+    try:
+        for mode in ("serial", "batch"):
+            report = replay(index, workload, mode=mode)
+            check(report.bit_identical,
+                  f"{mode} replay found {len(report.mismatches)}"
+                  f" mismatches: {report.as_dict(max_mismatches=3)}")
+    finally:
+        index.close()
+    print(f"replay OK: {N_QUERIES} queries bit-identical in both modes")
+
+
+def analyze_leg(archive: Path, capture: Path) -> None:
+    """``repro analyze`` convicts the hot shard with exit status 2."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", str(archive),
+         "--workload", str(capture), "--json"],
+        env=_env(), capture_output=True, text=True,
+    )
+    check(result.returncode == 2,
+          f"analyze exited {result.returncode} (expected 2 = skew):"
+          f" {result.stderr[-500:]}")
+    document = json.loads(result.stdout)
+    check(HOT_SHARD in document["verdict"]["hot_shards"],
+          f"analyze verdict missed shard {HOT_SHARD}:"
+          f" {document['verdict']}")
+    print(
+        f"analyze OK: exit 2, verdict names shard(s)"
+        f" {document['verdict']['hot_shards']}"
+    )
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="analytics-smoke-"))
+    archive = build_archive(workdir)
+    queries = skewed_queries(archive)
+    capture = workdir / "capture.jsonl"
+
+    proc, base_url, reader = launch_serve(archive, capture)
+    try:
+        print(f"serve up at {base_url}, driving {N_QUERIES} skewed"
+              f" queries at shard {HOT_SHARD}")
+        for q in queries:
+            proc.stdin.write(json.dumps([round(x, 12) for x in q]) + "\n")
+        proc.stdin.flush()
+
+        wait_for_capture(capture, N_QUERIES)
+
+        with urllib.request.urlopen(
+            f"{base_url}/analytics", timeout=10
+        ) as response:
+            check(response.status == 200,
+                  f"/analytics returned {response.status}")
+            report = json.loads(response.read().decode())
+        assert_skew_report(report)
+
+        proc.stdin.close()
+        for i in range(N_QUERIES):
+            answer = json.loads(proc.stdout.readline())
+            check(answer.get("ok") is True,
+                  f"query {i} failed: {answer}")
+        check(proc.wait(timeout=60) == 0,
+              f"serve exited with {proc.returncode}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        reader.join(timeout=5)
+
+    replay_leg(archive, capture)
+    analyze_leg(archive, capture)
+
+    print("analytics smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ if str(REPO_SRC) not in sys.path:  # allow running without installation
 from repro.chaos import FaultPlan, ShardFaults, run_drill  # noqa: E402
 from repro.core.nncell_index import NNCellIndex  # noqa: E402
 from repro.data import uniform_points  # noqa: E402
+from repro.obs.metrics import sum_labeled  # noqa: E402
 from repro.obs.promexport import MetricsServer, parse_exposition  # noqa: E402
 from repro.shard import (  # noqa: E402
     ResilienceConfig,
@@ -149,15 +150,19 @@ def main() -> int:
         f"fault plan never fired: {report.injected}",
     )
 
+    # The resilience counters are dimensional (`shard=` label): the
+    # scrape carries one child sample per shard, summed here against
+    # the drill's aggregate.
     samples = scrape_metrics()
     for counter, sample in (
         ("shard.retry", "shard_retry_total"),
         ("shard.hedge", "shard_hedge_total"),
         ("serve.degraded_answers", "serve_degraded_answers_total"),
     ):
+        scraped = sum_labeled(samples, sample)
         check(
-            samples.get(sample) == report.counters.get(counter),
-            f"{sample}={samples.get(sample)} on /metrics, drill observed "
+            scraped == report.counters.get(counter),
+            f"{sample}={scraped} on /metrics, drill observed "
             f"{counter}={report.counters.get(counter)}",
         )
 

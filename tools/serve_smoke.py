@@ -106,10 +106,11 @@ def induced_failure(index, registry) -> None:
           "fallback answer differs from serial nearest")
     check(result.source == "serial",
           f"expected serial fallback, got {result.source!r}")
-    fallbacks = registry.counter("serve.fallback.batch").value
-    check(fallbacks >= 1, "serve.fallback.batch counter not incremented")
+    batch_key = 'serve.fallback{stage="batch"}'
+    fallbacks = registry.counter(batch_key).value
+    check(fallbacks >= 1, f"{batch_key} counter not incremented")
     print(f"fallback OK: source={result.source}, "
-          f"serve.fallback.batch={fallbacks:.0f}")
+          f"{batch_key}={fallbacks:.0f}")
 
 
 def induced_overload(index, registry) -> None:
